@@ -1,0 +1,84 @@
+"""Paper Fig. 7 — robustness to link failures.
+
+The paper disconnects 10% of switch links at 3.1s and restores them at
+6.1s; PET reacts faster than ACC, achieving up to 26% lower average FCT
+during the failure episode.  We reproduce the same schedule on the
+scaled timeline (failure at 1/3 of the run, restore at 2/3) and compare
+the normalized FCT of flows finishing inside the failure window.
+"""
+
+import numpy as np
+
+from conftest import cached_run, print_banner, standard_scenario
+from repro.analysis.fct import normalized_fcts
+from repro.analysis.report import format_table
+from repro.netsim.fluid import FluidNetwork
+from repro.traffic.generator import PoissonTrafficGenerator, TrafficConfig
+from repro.traffic.workloads import WEB_SEARCH
+
+LOAD = 0.6
+DURATION = 0.24
+FAIL_FRACTION = 0.10
+
+
+def _run(scheme: str):
+    cfg = standard_scenario("websearch", LOAD, duration=DURATION,
+                            incast=False)
+    net = FluidNetwork(cfg.fluid, seed=cfg.seed)
+    gen = PoissonTrafficGenerator(net.host_names(), WEB_SEARCH,
+                                  rng=np.random.default_rng(cfg.seed + 1))
+    net.start_flows(gen.generate(TrafficConfig(
+        load=LOAD, duration=DURATION, host_rate_bps=cfg.fluid.host_rate_bps)))
+
+    intervals = int(round(DURATION / cfg.delta_t))
+    fail_at, restore_at = intervals // 3, 2 * intervals // 3
+    events = {}
+
+    def control(i, now, stats):
+        if i == fail_at:
+            events["fail"] = now
+            net.fail_uplinks(FAIL_FRACTION,
+                             rng=np.random.default_rng(cfg.seed + 2))
+        elif i == restore_at:
+            events["restore"] = now
+            net.restore_uplinks()
+
+    result = cached_run(scheme, cfg, network=net, on_interval=control)
+    t0, t1 = events["fail"], events["restore"]
+    windows = {}
+    for name, lo, hi in (("before", 0.0, t0), ("during", t0, t1),
+                         ("after", t1, 1e9)):
+        done = [f for f in net.finished_flows if lo <= f.finish_time < hi]
+        vals = normalized_fcts(done, cfg.fluid.host_rate_bps,
+                               cfg.fluid.base_rtt)
+        windows[name] = (float(np.mean(vals)) if vals.size else float("nan"),
+                         len(done))
+    return result, windows
+
+
+def _collect():
+    return {s: _run(s) for s in ("pet", "acc", "secn1")}
+
+
+def test_fig7_link_failure(benchmark):
+    out = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    print_banner("Fig. 7 — normalized FCT around a 10% link-failure episode")
+    rows = []
+    for scheme, (_, w) in out.items():
+        rows.append([scheme, *[round(w[k][0], 2)
+                               for k in ("before", "during", "after")],
+                     w["during"][1]])
+    print(format_table(["scheme", "before", "during", "after",
+                        "flows during"], rows))
+
+    pet, acc = out["pet"][1], out["acc"][1]
+    # Both schemes keep completing flows through the failure.
+    assert pet["during"][1] > 0 and acc["during"][1] > 0
+    # Failures degrade FCT relative to the calm phase for everyone...
+    assert pet["during"][0] > pet["before"][0] * 0.8
+    # ...but PET's in-failure FCT stays at or below ACC's (paper: up to
+    # 26% lower; we accept anything up to parity + 10% noise).
+    assert pet["during"][0] <= acc["during"][0] * 1.10
+    # and PET recovers after restoration (no lasting damage)
+    assert pet["after"][0] <= pet["during"][0] * 1.25

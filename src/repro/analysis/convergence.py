@@ -1,0 +1,84 @@
+"""Convergence metrics for learning traces (paper §5.5.4).
+
+The paper evaluates "convergence rate … the ability to adapt to network
+dynamics and nonstationarity" by switching traffic patterns and watching
+the FCT settle.  These helpers quantify that on any scalar trace
+(reward, FCT, queue length):
+
+- :func:`settling_time` — first index after which the trace stays
+  within a band around its final level (classic control-theory metric);
+- :func:`recovery_time` — how long after a disturbance index the trace
+  returns to its pre-disturbance level;
+- :func:`moving_average` — the smoother both metrics run on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["moving_average", "settling_time", "recovery_time"]
+
+
+def moving_average(trace: Sequence[float], window: int = 10) -> np.ndarray:
+    """Trailing moving average; output has the same length as the input
+    (the first ``window-1`` entries average what is available)."""
+    x = np.asarray(trace, dtype=np.float64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if x.size == 0:
+        return x
+    csum = np.cumsum(x)
+    out = np.empty_like(x)
+    for i in range(x.size):
+        lo = max(0, i - window + 1)
+        total = csum[i] - (csum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def settling_time(trace: Sequence[float], *, band: float = 0.05,
+                  window: int = 10, tail_fraction: float = 0.2
+                  ) -> Optional[int]:
+    """First index from which the smoothed trace stays inside
+    ``±band`` (relative) of its final level, or None if it never does.
+
+    The final level is the mean of the last ``tail_fraction`` of the
+    smoothed trace.
+    """
+    x = moving_average(trace, window)
+    if x.size == 0:
+        return None
+    tail = max(int(x.size * tail_fraction), 1)
+    final = float(np.mean(x[-tail:]))
+    tol = abs(final) * band + 1e-12
+    inside = np.abs(x - final) <= tol
+    # last index that is OUTSIDE the band; settle right after it
+    outside = np.flatnonzero(~inside)
+    if outside.size == 0:
+        return 0
+    idx = int(outside[-1]) + 1
+    return idx if idx < x.size else None
+
+
+def recovery_time(trace: Sequence[float], disturbance_idx: int, *,
+                  band: float = 0.10, window: int = 10,
+                  baseline_window: int = 50) -> Optional[int]:
+    """Steps after ``disturbance_idx`` until the smoothed trace returns
+    to within ``±band`` of its pre-disturbance baseline; None if never.
+
+    The baseline is the mean of the ``baseline_window`` smoothed points
+    before the disturbance.
+    """
+    x = moving_average(trace, window)
+    if not 0 < disturbance_idx < x.size:
+        raise ValueError("disturbance index out of range")
+    lo = max(0, disturbance_idx - baseline_window)
+    baseline = float(np.mean(x[lo:disturbance_idx]))
+    tol = abs(baseline) * band + 1e-12
+    after = x[disturbance_idx:]
+    hits = np.flatnonzero(np.abs(after - baseline) <= tol)
+    if hits.size == 0:
+        return None
+    return int(hits[0])

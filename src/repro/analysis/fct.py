@@ -1,0 +1,89 @@
+"""Flow-completion-time statistics (paper Figs. 4-7, 9).
+
+The paper reports *normalized* FCT (slowdown): the measured FCT divided
+by the flow's ideal completion time on an empty network.  Splits follow
+the paper's buckets: overall, mice ``(0, 100KB]``, and elephant
+``[10MB, inf)`` — note the figure buckets are stricter than the 1 MB
+classification threshold used for the R_flow state feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netsim.flow import Flow
+
+__all__ = ["FCTStats", "normalized_fcts", "fct_statistics",
+           "MICE_BUCKET_MAX", "ELEPHANT_BUCKET_MIN"]
+
+#: paper Fig. 4(b,c): mice bucket is (0, 100KB]
+MICE_BUCKET_MAX = 100_000
+#: paper Fig. 4(d): elephant bucket is [10MB, inf)
+ELEPHANT_BUCKET_MIN = 10_000_000
+
+
+@dataclass(frozen=True)
+class FCTStats:
+    """Summary of one flow population."""
+
+    count: int
+    avg: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "FCTStats":
+        if len(values) == 0:
+            return cls(count=0, avg=float("nan"), p50=float("nan"),
+                       p95=float("nan"), p99=float("nan"))
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(count=int(arr.size), avg=float(arr.mean()),
+                   p50=float(np.percentile(arr, 50)),
+                   p95=float(np.percentile(arr, 95)),
+                   p99=float(np.percentile(arr, 99)))
+
+
+def normalized_fcts(flows: Iterable[Flow], bottleneck_bps: float,
+                    base_rtt: float = 0.0) -> np.ndarray:
+    """Slowdown of every *finished* flow (>= 1 in an ideal run)."""
+    out: List[float] = []
+    for f in flows:
+        if f.fct is None:
+            continue
+        ideal = f.ideal_fct(bottleneck_bps, base_rtt)
+        if ideal <= 0:
+            continue
+        out.append(f.fct / ideal)
+    return np.asarray(out, dtype=np.float64)
+
+
+def fct_statistics(flows: Iterable[Flow], bottleneck_bps: float,
+                   base_rtt: float = 0.0,
+                   mice_max: int = MICE_BUCKET_MAX,
+                   elephant_min: int = ELEPHANT_BUCKET_MIN
+                   ) -> Dict[str, FCTStats]:
+    """Normalized-FCT summaries for the paper's three buckets.
+
+    Returns keys ``overall``, ``mice``, ``elephant`` (elephant falls back
+    to the >1MB class when nothing reaches the 10 MB bucket, so small
+    scenario runs still report a long-flow figure).
+    """
+    finished = [f for f in flows if f.fct is not None]
+    buckets: Dict[str, List[Flow]] = {"overall": finished,
+                                      "mice": [], "elephant": []}
+    for f in finished:
+        if f.size_bytes <= mice_max:
+            buckets["mice"].append(f)
+        if f.size_bytes >= elephant_min:
+            buckets["elephant"].append(f)
+    if not buckets["elephant"]:
+        buckets["elephant"] = [f for f in finished if f.is_elephant]
+    out: Dict[str, FCTStats] = {}
+    for name, fl in buckets.items():
+        out[name] = FCTStats.from_values(
+            normalized_fcts(fl, bottleneck_bps, base_rtt))
+    return out

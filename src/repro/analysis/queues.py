@@ -1,0 +1,60 @@
+"""Queue-length and latency statistics (paper Table I and Fig. 8).
+
+Table I reports the average and *variance* of the switch queue length at
+60% load; Fig. 8 reports per-packet latency.  Both are computed from
+samples the harness collects once per tuning interval (queue length)
+or continuously (latency, from delivered packets / fluid path delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["QueueLengthStats", "queue_length_statistics",
+           "latency_statistics"]
+
+
+@dataclass(frozen=True)
+class QueueLengthStats:
+    """Table I quantities, in bytes (the paper prints KB)."""
+
+    samples: int
+    mean_bytes: float
+    variance_bytes: float   # the paper reports "variance" in KB; we keep
+    std_bytes: float        # both the variance (KB-scaled by callers) and std
+    p99_bytes: float
+
+    @property
+    def mean_kb(self) -> float:
+        return self.mean_bytes / 1000.0
+
+    @property
+    def std_kb(self) -> float:
+        return self.std_bytes / 1000.0
+
+
+def queue_length_statistics(samples: Sequence[float]) -> QueueLengthStats:
+    """Summaries over interval queue-length samples."""
+    if len(samples) == 0:
+        return QueueLengthStats(0, float("nan"), float("nan"), float("nan"),
+                                float("nan"))
+    arr = np.asarray(samples, dtype=np.float64)
+    return QueueLengthStats(samples=int(arr.size), mean_bytes=float(arr.mean()),
+                            variance_bytes=float(arr.var()),
+                            std_bytes=float(arr.std()),
+                            p99_bytes=float(np.percentile(arr, 99)))
+
+
+def latency_statistics(latencies: Iterable[Tuple[float, float]]
+                       ) -> Dict[str, float]:
+    """Per-packet latency summary from (time, latency) samples."""
+    vals = np.asarray([lat for _, lat in latencies], dtype=np.float64)
+    if vals.size == 0:
+        return {"count": 0, "avg": float("nan"), "p50": float("nan"),
+                "p99": float("nan")}
+    return {"count": int(vals.size), "avg": float(vals.mean()),
+            "p50": float(np.percentile(vals, 50)),
+            "p99": float(np.percentile(vals, 99))}

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's figures plot;
+``format_table`` keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_result_rows"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "-"
+        if v != 0 and (abs(v) >= 1e5 or abs(v) < 1e-3):
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    headers = [_fmt(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    def line(vals):
+        return "  ".join(v.rjust(w) for v, w in zip(vals, widths))
+    sep = "  ".join("-" * w for w in widths)
+    out = [line(headers), sep]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_result_rows(results: Dict[str, Dict[str, float]],
+                       columns: Sequence[str]) -> str:
+    """Table keyed by scheme name with the chosen summary columns."""
+    headers = ["scheme", *columns]
+    rows: List[List] = []
+    for scheme, row in results.items():
+        rows.append([scheme, *[row.get(c, float("nan")) for c in columns]])
+    return format_table(headers, rows)

@@ -1,0 +1,95 @@
+"""Parameter sweeps over (scheme × load × workload), optionally parallel.
+
+The evaluation grids of the paper (Figs. 4, 5, 8) are embarrassingly
+parallel: every cell is an independent simulation.  ``run_sweep``
+executes a grid either serially (sharing the in-process pretraining
+cache) or across worker processes (each worker pays its own training,
+but wall-clock scales with cores — the right trade for wide grids on
+many-core machines).
+
+Results come back as flat records ready for
+:func:`repro.analysis.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import ScenarioConfig, run_scenario
+
+__all__ = ["SweepSpec", "SweepCell", "run_sweep", "sweep_table_rows"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The grid to run."""
+
+    schemes: Tuple[str, ...] = ("pet", "secn1")
+    loads: Tuple[float, ...] = (0.6,)
+    workloads: Tuple[str, ...] = ("websearch",)
+
+    def cells(self) -> List[Tuple[str, float, str]]:
+        return list(product(self.schemes, self.loads, self.workloads))
+
+    def __len__(self) -> int:
+        return len(self.schemes) * len(self.loads) * len(self.workloads)
+
+
+@dataclass
+class SweepCell:
+    """One grid cell's outcome, flattened for reporting."""
+
+    scheme: str
+    load: float
+    workload: str
+    metrics: Dict[str, float]
+
+
+def _run_cell(args) -> SweepCell:
+    scheme, load, workload, base_cfg = args
+    cfg = replace(base_cfg, load=load, workload=workload)
+    result = run_scenario(scheme, cfg)
+    return SweepCell(scheme=scheme, load=load, workload=workload,
+                     metrics=result.summary_row())
+
+
+def run_sweep(spec: SweepSpec, base: Optional[ScenarioConfig] = None, *,
+              workers: int = 1) -> List[SweepCell]:
+    """Run every cell of the grid.
+
+    Parameters
+    ----------
+    spec:
+        The grid.
+    base:
+        Template scenario; load/workload are substituted per cell.
+    workers:
+        1 = serial in-process (pretraining cache shared across cells);
+        >1 = a :class:`ProcessPoolExecutor` with that many workers.
+    """
+    base = base or ScenarioConfig()
+    jobs = [(s, l, w, base) for (s, l, w) in spec.cells()]
+    if workers <= 1:
+        return [_run_cell(j) for j in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_cell, jobs))
+
+
+def sweep_table_rows(cells: Sequence[SweepCell],
+                     metric: str = "overall_avg_fct"
+                     ) -> Tuple[List[str], List[List]]:
+    """Pivot cells into (headers, rows): schemes × (workload, load)."""
+    columns = sorted({(c.workload, c.load) for c in cells})
+    schemes = sorted({c.scheme for c in cells})
+    headers = ["scheme"] + [f"{w}@{l:.0%}" for (w, l) in columns]
+    index = {(c.scheme, c.workload, c.load): c.metrics.get(metric,
+                                                           float("nan"))
+             for c in cells}
+    rows = []
+    for s in schemes:
+        rows.append([s] + [index.get((s, w, l), float("nan"))
+                           for (w, l) in columns])
+    return headers, rows

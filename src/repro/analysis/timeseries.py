@@ -1,0 +1,101 @@
+"""Per-interval time-series recording for experiment traces.
+
+The paper's figures 6 and 7 are time series (FCT / queue behaviour
+around events); this module gives the harness a uniform way to collect,
+slice and export such traces.
+
+Typical use with the control loop::
+
+    rec = TimeSeriesRecorder()
+    def probe(i, now, stats):
+        rec.record(now,
+                   qlen=sum(s.qlen_bytes for s in stats.values()),
+                   util=np.mean([s.utilization for s in stats.values()]))
+    run_control_loop(net, ctrl, intervals=N, delta_t=dt, on_interval=probe)
+    rec.to_csv("trace.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeriesRecorder"]
+
+
+class TimeSeriesRecorder:
+    """Columnar (time, fields...) trace with slicing and CSV export."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._rows: List[Dict[str, float]] = []
+        self._fields: List[str] = []
+
+    def record(self, t: float, **values: float) -> None:
+        """Append one sample; new field names extend the schema."""
+        if self._times and t < self._times[-1]:
+            raise ValueError("time must be non-decreasing")
+        self._times.append(float(t))
+        row = {k: float(v) for k, v in values.items()}
+        self._rows.append(row)
+        for k in row:
+            if k not in self._fields:
+                self._fields.append(k)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def fields(self) -> List[str]:
+        return list(self._fields)
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    def column(self, field: str) -> np.ndarray:
+        """One field as an array; missing samples become NaN."""
+        if field not in self._fields:
+            raise KeyError(f"unknown field {field!r}")
+        return np.asarray([row.get(field, float("nan"))
+                           for row in self._rows])
+
+    def window(self, start: float, end: float) -> "TimeSeriesRecorder":
+        """Samples with start <= t < end, as a new recorder."""
+        out = TimeSeriesRecorder()
+        for t, row in zip(self._times, self._rows):
+            if start <= t < end:
+                out.record(t, **row)
+        return out
+
+    def summary(self, field: str) -> Dict[str, float]:
+        vals = self.column(field)
+        vals = vals[~np.isnan(vals)]
+        if vals.size == 0:
+            return {"count": 0, "mean": float("nan"), "std": float("nan"),
+                    "min": float("nan"), "max": float("nan")}
+        return {"count": int(vals.size), "mean": float(vals.mean()),
+                "std": float(vals.std()), "min": float(vals.min()),
+                "max": float(vals.max())}
+
+    def to_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["time", *self._fields])
+            for t, row in zip(self._times, self._rows):
+                writer.writerow([t, *[row.get(f, "") for f in self._fields]])
+
+    @classmethod
+    def from_csv(cls, path: str) -> "TimeSeriesRecorder":
+        rec = cls()
+        with open(path, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            fields = header[1:]
+            for line in reader:
+                t = float(line[0])
+                values = {f: float(v) for f, v in zip(fields, line[1:])
+                          if v != ""}
+                rec.record(t, **values)
+        return rec

@@ -1,0 +1,19 @@
+"""Comparison schemes from the paper's §5.4.
+
+- :class:`~repro.baselines.static_ecn.StaticECNController` with the two
+  published configurations: **SECN1** (DCQCN: Kmin=5KB, Kmax=200KB) and
+  **SECN2** (HPCC: Kmin=100KB, Kmax=400KB).
+- :class:`~repro.baselines.acc.ACCController` — the state-of-the-art
+  learning baseline: multi-agent Double DQN over the four basic state
+  features with a *global* experience replay (whose memory/bandwidth
+  overhead the harness meters).
+"""
+
+from repro.baselines.static_ecn import StaticECNController, secn1, secn2
+from repro.baselines.acc import ACCController, ACCConfig
+from repro.baselines.dynamic_ecn import (AMTConfig, AMTController,
+                                         QAECNConfig, QAECNController)
+
+__all__ = ["StaticECNController", "secn1", "secn2",
+           "ACCController", "ACCConfig",
+           "AMTController", "AMTConfig", "QAECNController", "QAECNConfig"]

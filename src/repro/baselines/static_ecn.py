@@ -1,0 +1,46 @@
+"""Static ECN baselines (paper §5.4).
+
+A static scheme pre-configures one immutable ``(Kmin, Kmax, Pmax)`` on
+every switch and never adjusts it — the paper's SECN1 (DCQCN's
+recommended setting, Kmin=5KB/Kmax=200KB) and SECN2 (HPCC's setting,
+Kmin=100KB/Kmax=400KB).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.netsim.ecn import ECNConfig
+from repro.netsim.network import QueueStats
+
+__all__ = ["StaticECNController", "secn1", "secn2"]
+
+
+class StaticECNController:
+    """Applies one fixed configuration once, then does nothing."""
+
+    def __init__(self, config: ECNConfig, name: str = "static") -> None:
+        self.config = config
+        self.name = name
+        self._applied = False
+
+    def set_training(self, training: bool) -> None:
+        """Static schemes do not learn; accepted for interface parity."""
+
+    def decide(self, stats: Dict[str, QueueStats], now: float,
+               network) -> Dict[str, ECNConfig]:
+        if self._applied:
+            return {}
+        network.set_ecn_all(self.config)
+        self._applied = True
+        return {name: self.config for name in stats}
+
+
+def secn1() -> StaticECNController:
+    """SECN1 — the DCQCN static configuration (Kmin=5KB, Kmax=200KB)."""
+    return StaticECNController(ECNConfig(5_000, 200_000, 0.01), name="SECN1")
+
+
+def secn2() -> StaticECNController:
+    """SECN2 — the HPCC static configuration (Kmin=100KB, Kmax=400KB)."""
+    return StaticECNController(ECNConfig(100_000, 400_000, 0.01), name="SECN2")

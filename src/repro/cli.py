@@ -1,0 +1,76 @@
+"""Command-line interface: run one scenario and print the paper metrics.
+
+Examples
+--------
+Compare PET with the DCQCN static setting at 60% Web Search load::
+
+    python -m repro --scheme pet secn1 --workload websearch --load 0.6
+
+Quick smoke run::
+
+    python -m repro --scheme secn1 --duration 0.02 --pretrain 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (SCHEMES, ScenarioConfig,
+                                        run_scenario)
+from repro.analysis.report import format_result_rows
+from repro.netsim.fluid import FluidConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="PET reproduction — run an ECN-tuning scenario")
+    p.add_argument("--scheme", nargs="+", default=["pet", "secn1"],
+                   choices=list(SCHEMES), help="schemes to compare")
+    p.add_argument("--workload", default="websearch",
+                   choices=["websearch", "datamining"])
+    p.add_argument("--load", type=float, default=0.6,
+                   help="offered load as a fraction of host capacity")
+    p.add_argument("--duration", type=float, default=0.1,
+                   help="measured seconds of virtual time")
+    p.add_argument("--pretrain", type=int, default=1500,
+                   help="offline pre-training intervals (0 = none)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-incast", action="store_true",
+                   help="disable the many-to-one incast overlay")
+    p.add_argument("--hosts-per-leaf", type=int, default=8)
+    p.add_argument("--leaves", type=int, default=4)
+    p.add_argument("--spines", type=int, default=2)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    fabric = FluidConfig(n_spine=args.spines, n_leaf=args.leaves,
+                         hosts_per_leaf=args.hosts_per_leaf,
+                         host_rate_bps=10e9, spine_rate_bps=40e9)
+    cfg = ScenarioConfig(workload=args.workload, load=args.load,
+                         duration=args.duration,
+                         pretrain_intervals=args.pretrain,
+                         incast=not args.no_incast, seed=args.seed,
+                         fluid=fabric)
+    rows = {}
+    for scheme in args.scheme:
+        print(f"running {scheme} "
+              f"({args.workload} @ {args.load:.0%}, "
+              f"{args.duration * 1e3:.0f} ms) ...", file=sys.stderr)
+        r = run_scenario(scheme, cfg)
+        rows[scheme] = r.summary_row()
+    print()
+    print(format_result_rows(rows, [
+        "overall_avg_fct", "mice_avg_fct", "mice_p99_fct",
+        "elephant_avg_fct", "queue_mean_kb", "latency_avg", "utilization"]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Discrete ECN action codec (paper Eq. 4-5).
+
+An action is an ECN triple ``(Kmax, Kmin, Pmax)``.  Thresholds come from
+the exponential grid ``E(n) = alpha * 2^n KB`` with ``n`` in a small
+range (paper recommends [0, 9]); Pmax moves on a 5% grid.
+
+Two enumerations are provided:
+
+- ``full`` — every ``(n_min < n_max, pmax)`` combination, the literal
+  paper space (|A| = C(10,2) * 20 = 900 at defaults);
+- ``compact`` — ``(n_max, pmax)`` pairs with ``Kmin = Kmax / 4``
+  (|A| = 10 * len(pmax_levels)); this shrinks exploration for the
+  benchmark harness while spanning the same Kmax range.  DESIGN.md lists
+  it as a deliberate substitution; the ablation bench compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import PETConfig
+from repro.netsim.ecn import ECNConfig
+
+__all__ = ["ActionCodec"]
+
+_COMPACT_PMAX_LEVELS = (0.05, 0.25, 0.50, 1.00)
+
+
+class ActionCodec:
+    """Bijection between action ids and :class:`ECNConfig` values."""
+
+    def __init__(self, actions: Sequence[ECNConfig]) -> None:
+        if not actions:
+            raise ValueError("action table must be non-empty")
+        self._table: List[ECNConfig] = list(actions)
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def threshold_bytes(alpha_kb: float, n: int) -> int:
+        """E(n) = alpha * 2^n KB, in bytes (Eq. 5)."""
+        return int(round(alpha_kb * (2 ** n) * 1000))
+
+    @classmethod
+    def full(cls, alpha_kb: float = 20.0, n_range: Tuple[int, int] = (0, 9),
+             pmax_step: float = 0.05) -> "ActionCodec":
+        lo, hi = n_range
+        pmaxes = np.round(np.arange(pmax_step, 1.0 + 1e-9, pmax_step), 6)
+        actions = []
+        for n_min in range(lo, hi):
+            for n_max in range(n_min + 1, hi + 1):
+                kmin = cls.threshold_bytes(alpha_kb, n_min)
+                kmax = cls.threshold_bytes(alpha_kb, n_max)
+                for p in pmaxes:
+                    actions.append(ECNConfig(kmin, kmax, float(p)))
+        return cls(actions)
+
+    @classmethod
+    def compact(cls, alpha_kb: float = 20.0, n_range: Tuple[int, int] = (0, 9),
+                pmax_levels: Sequence[float] = _COMPACT_PMAX_LEVELS) -> "ActionCodec":
+        lo, hi = n_range
+        actions = []
+        for n_max in range(lo, hi + 1):
+            kmax = cls.threshold_bytes(alpha_kb, n_max)
+            kmin = max(kmax // 4, 1000)
+            for p in pmax_levels:
+                actions.append(ECNConfig(kmin, kmax, float(p)))
+        return cls(actions)
+
+    @classmethod
+    def from_config(cls, config: PETConfig) -> "ActionCodec":
+        if config.action_mode == "full":
+            return cls.full(config.alpha_kb, config.n_range, config.pmax_step)
+        return cls.compact(config.alpha_kb, config.n_range)
+
+    # -- codec ----------------------------------------------------------------
+    @property
+    def n_actions(self) -> int:
+        return len(self._table)
+
+    def decode(self, action_id: int) -> ECNConfig:
+        if not 0 <= action_id < len(self._table):
+            raise IndexError(f"action id {action_id} out of range "
+                             f"[0, {len(self._table)})")
+        return self._table[action_id]
+
+    def all_actions(self) -> List[ECNConfig]:
+        return list(self._table)
+
+    def nearest_action(self, config: ECNConfig) -> int:
+        """Id of the table entry closest to an arbitrary ECN config.
+
+        Distance is log-scaled on thresholds (the grid is exponential)
+        plus the Pmax gap; used to warm-start agents from a known-good
+        static configuration.
+        """
+        best, best_d = 0, float("inf")
+        for i, a in enumerate(self._table):
+            d = (abs(np.log2(a.kmax_bytes / config.kmax_bytes))
+                 + abs(np.log2(max(a.kmin_bytes, 1) / max(config.kmin_bytes, 1)))
+                 + abs(a.pmax - config.pmax))
+            if d < best_d:
+                best, best_d = i, d
+        return best
+
+    def normalized_kmax(self, action_id: int) -> float:
+        """Kmax of an action scaled to [0, 1] over the table (state input)."""
+        kmaxes = [a.kmax_bytes for a in self._table]
+        lo, hi = min(kmaxes), max(kmaxes)
+        if hi == lo:
+            return 0.5
+        return (self._table[action_id].kmax_bytes - lo) / (hi - lo)

@@ -1,0 +1,33 @@
+"""Controller interface shared by PET and every baseline.
+
+A controller is driven by the experiment loop once per tuning interval:
+
+    stats = network.queue_stats()
+    configs = controller.decide(stats, network.now, network)
+
+``decide`` returns the ECN configuration applied per switch this
+interval (possibly empty when nothing changed).  Implementations are
+free to learn online inside ``decide`` when ``training`` is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+from repro.netsim.ecn import ECNConfig
+from repro.netsim.network import QueueStats
+
+__all__ = ["Controller"]
+
+
+class Controller(Protocol):
+    """Structural interface of an ECN tuning scheme."""
+
+    def decide(self, stats: Dict[str, QueueStats], now: float,
+               network) -> Dict[str, ECNConfig]:
+        """Consume one interval's statistics, return applied configs."""
+        ...
+
+    def set_training(self, training: bool) -> None:
+        """Toggle online learning (baselines may ignore this)."""
+        ...

@@ -1,0 +1,146 @@
+"""Network Condition Monitor (paper §4.5.1).
+
+One NCM instance runs per switch and plays its three roles:
+
+1. **Monitoring** — ingests the switch's per-interval
+   :class:`~repro.netsim.network.QueueStats` (which carry the raw
+   per-flow observations the queues collected).
+2. **Computation & Analysis** — derives the category-2 state features:
+
+   - *incast degree*: from the observed (src, dst) pairs, the largest
+     number of distinct senders currently converging on one receiver
+     behind this switch (§4.2.1: "the total number of senders
+     communicating with the same receiver in each many-to-one pattern");
+   - *mice/elephant ratio*: classify each observed flow by cumulative
+     bytes against the 1 MB DevoFlow threshold.
+
+3. **Scheduled Cleanup** — expires state older than the history window:
+   a periodic sweep every ``ncm_cleanup_interval_slots`` slots, plus a
+   threshold sweep that triggers when the observation memory exceeds
+   ``ncm_memory_threshold_bytes`` and drops the oldest
+   ``ncm_threshold_drop_fraction`` of entries (the incast-burst safety
+   valve the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import PETConfig
+from repro.netsim.flow import MICE_ELEPHANT_THRESHOLD
+from repro.netsim.network import QueueStats
+from repro.netsim.queueing import FlowObservation
+from repro.traffic.classify import mice_elephant_ratio
+
+__all__ = ["NCMAnalysis", "NetworkConditionMonitor"]
+
+
+@dataclass(frozen=True)
+class NCMAnalysis:
+    """Output of the computation-and-analysis module for one slot."""
+
+    incast_degree: int
+    flow_ratio: float
+    n_flows_observed: int
+
+
+@dataclass
+class _SlotRecord:
+    time: float
+    flow_obs: Dict[int, FlowObservation] = field(default_factory=dict)
+
+
+class NetworkConditionMonitor:
+    """Per-switch monitor with bounded memory."""
+
+    def __init__(self, switch: str, config: PETConfig) -> None:
+        self.switch = switch
+        self.config = config
+        self._slots: List[_SlotRecord] = []
+        self._slot_count = 0
+        self.cleanups_scheduled = 0
+        self.cleanups_threshold = 0
+        self.entries_pruned = 0
+
+    # -- monitoring ---------------------------------------------------------
+    def ingest(self, stats: QueueStats, now: float) -> NCMAnalysis:
+        """Record one interval's observations and analyze them."""
+        if stats.switch != self.switch:
+            raise ValueError(f"NCM for {self.switch} fed stats of {stats.switch}")
+        self._slots.append(_SlotRecord(time=now, flow_obs=dict(stats.flow_obs)))
+        self._slot_count += 1
+        analysis = self._analyze()
+        self._maybe_cleanup(now)
+        return analysis
+
+    # -- computation & analysis ------------------------------------------------
+    def _merged_obs(self) -> Dict[int, FlowObservation]:
+        """Union of observations across the retained slots (latest wins)."""
+        merged: Dict[int, FlowObservation] = {}
+        for slot in self._slots:
+            merged.update(slot.flow_obs)
+        return merged
+
+    def _analyze(self) -> NCMAnalysis:
+        merged = self._merged_obs()
+        incast = self.compute_incast_degree(merged)
+        ratio = mice_elephant_ratio((o.bytes_seen for o in merged.values()),
+                                    threshold=MICE_ELEPHANT_THRESHOLD)
+        return NCMAnalysis(incast_degree=incast, flow_ratio=ratio,
+                           n_flows_observed=len(merged))
+
+    @staticmethod
+    def compute_incast_degree(obs: Dict[int, FlowObservation]) -> int:
+        """Max distinct senders converging on a single receiver."""
+        senders_by_dst: Dict[object, set] = {}
+        for o in obs.values():
+            senders_by_dst.setdefault(o.dst, set()).add(o.src)
+        if not senders_by_dst:
+            return 0
+        return max(len(s) for s in senders_by_dst.values())
+
+    # -- scheduled cleanup -------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Rough resident size of retained observations (~48 B each)."""
+        return sum(48 * len(s.flow_obs) for s in self._slots)
+
+    def _maybe_cleanup(self, now: float) -> None:
+        cfg = self.config
+        # Strategy 1: periodic sweep — drop slots beyond the history window.
+        if self._slot_count % max(cfg.ncm_cleanup_interval_slots, 1) == 0:
+            self._expire_old_slots()
+            self.cleanups_scheduled += 1
+        # Strategy 2: threshold sweep — triggered under bursty growth.
+        if self.memory_bytes() > cfg.ncm_memory_threshold_bytes:
+            self._threshold_sweep()
+            self.cleanups_threshold += 1
+
+    def _expire_old_slots(self) -> None:
+        """Keep only the last k slots (Eq. 3 defines older data as expired)."""
+        k = self.config.history_k
+        if len(self._slots) > k:
+            removed = self._slots[:-k]
+            self.entries_pruned += sum(len(s.flow_obs) for s in removed)
+            self._slots = self._slots[-k:]
+
+    def _threshold_sweep(self) -> None:
+        """Drop the oldest fraction of observation entries."""
+        total = sum(len(s.flow_obs) for s in self._slots)
+        to_drop = int(total * self.config.ncm_threshold_drop_fraction)
+        dropped = 0
+        for slot in self._slots:
+            if dropped >= to_drop:
+                break
+            # Oldest-first within the oldest slots.
+            items = sorted(slot.flow_obs.items(), key=lambda kv: kv[1].last_seen)
+            for fid, _ in items:
+                if dropped >= to_drop:
+                    break
+                del slot.flow_obs[fid]
+                dropped += 1
+        self.entries_pruned += dropped
+
+    # -- introspection --------------------------------------------------------------
+    def retained_slots(self) -> int:
+        return len(self._slots)

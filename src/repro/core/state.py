@@ -1,0 +1,120 @@
+"""The six-factor state (paper Eq. 2-3) and its normalization.
+
+    s_t = (qlen, txRate, txRate^(m), ECN^(c), D_incast, R_flow)
+
+Category 1 (read directly off the switch): queue length, link output
+rate, output rate of ECN-marked packets, current ECN threshold.
+Category 2 (computed by the NCM): incast degree and the mice/elephant
+ratio.
+
+All features are normalized to ~[0, 1] before reaching the agent
+("it makes sense to provide the normalized values … normalization helps
+agents generalize to different network environments", §4.2.1), and the
+last ``k`` slots are stacked into the sequence state s'_t (Eq. 3).
+
+The Fig. 9 ablation zero-masks D_incast / R_flow rather than dropping
+them, so network shapes are identical across arms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.core.config import PETConfig
+from repro.netsim.network import QueueStats
+
+__all__ = ["StateFeatures", "StateBuilder", "HistoryWindow"]
+
+
+@dataclass(frozen=True)
+class StateFeatures:
+    """One normalized state tuple (all in ~[0, 1])."""
+
+    qlen: float          # queue occupancy / qlen_norm
+    tx_rate: float       # txRate / BW
+    tx_marked_rate: float  # txRate^(m) / BW
+    ecn_threshold: float   # Kmax / qlen_norm
+    incast_degree: float   # senders-to-one-receiver / incast_norm
+    flow_ratio: float      # mice / (mice + elephant)
+
+    def to_array(self) -> np.ndarray:
+        return np.array([self.qlen, self.tx_rate, self.tx_marked_rate,
+                         self.ecn_threshold, self.incast_degree,
+                         self.flow_ratio], dtype=np.float64)
+
+
+class StateBuilder:
+    """Turns raw switch stats + NCM analysis into normalized features."""
+
+    def __init__(self, config: PETConfig) -> None:
+        self.config = config
+
+    def build(self, stats: QueueStats, incast_degree: float,
+              flow_ratio: float) -> StateFeatures:
+        """Normalize one slot's raw observations.
+
+        ``incast_degree`` and ``flow_ratio`` come from the NCM's
+        computation-and-analysis module; the rest from the switch.
+        """
+        cfg = self.config
+        qn = max(cfg.qlen_norm_bytes, 1.0)
+        qlen = min(stats.qlen_bytes / qn, 1.0)
+        bw = max(stats.capacity_bps, 1.0)
+        tx = min(stats.tx_rate_bps / bw, 1.0)
+        txm = min(stats.tx_marked_rate_bps / bw, 1.0)
+        ecn = 0.0
+        if stats.ecn is not None:
+            ecn = min(stats.ecn.kmax_bytes / qn, 1.0)
+        inc = min(incast_degree / max(cfg.incast_norm, 1.0), 1.0)
+        ratio = float(np.clip(flow_ratio, 0.0, 1.0))
+        if not cfg.use_incast:       # Fig. 9 ablation arms
+            inc = 0.0
+        if not cfg.use_flow_ratio:
+            ratio = 0.0
+        return StateFeatures(qlen=qlen, tx_rate=tx, tx_marked_rate=txm,
+                             ecn_threshold=ecn, incast_degree=inc,
+                             flow_ratio=ratio)
+
+
+class HistoryWindow:
+    """Fixed-length state history: s'_t = {s_{t-k+1}, ..., s_t} (Eq. 3).
+
+    Until ``k`` slots have been observed the window is left-padded with
+    zeros, so the observation dimension is constant (= 6k) from the very
+    first decision.
+    """
+
+    def __init__(self, k: int, n_features: int = 6) -> None:
+        if k < 1:
+            raise ValueError("window length must be >= 1")
+        self.k = k
+        self.n_features = n_features
+        self._window: Deque[np.ndarray] = deque(maxlen=k)
+
+    def push(self, features: StateFeatures | np.ndarray) -> None:
+        arr = features.to_array() if isinstance(features, StateFeatures) \
+            else np.asarray(features, dtype=np.float64)
+        if arr.shape != (self.n_features,):
+            raise ValueError(f"expected {self.n_features} features, "
+                             f"got shape {arr.shape}")
+        self._window.append(arr)
+
+    def observation(self) -> np.ndarray:
+        """Concatenated window, oldest first, zero-padded when young."""
+        pad = self.k - len(self._window)
+        parts = [np.zeros(self.n_features)] * pad + list(self._window)
+        return np.concatenate(parts)
+
+    @property
+    def obs_dim(self) -> int:
+        return self.k * self.n_features
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def clear(self) -> None:
+        self._window.clear()

@@ -1,0 +1,119 @@
+"""Single-agent Gym-style DCN environment.
+
+One designated switch is agent-controlled; every other switch keeps the
+default static ECN.  Observations are PET's normalized six-factor state
+stacked over the history window; actions index the
+:class:`~repro.core.action.ActionCodec`; the reward is paper Eq. 6.
+
+API shape follows classic Gym: ``obs = env.reset()``,
+``obs, reward, done, info = env.step(action)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.action import ActionCodec
+from repro.core.config import PETConfig
+from repro.core.ncm import NetworkConditionMonitor
+from repro.core.reward import RewardComputer
+from repro.core.state import HistoryWindow, StateBuilder
+from repro.netsim.fluid import FluidConfig, FluidNetwork
+from repro.traffic.generator import PoissonTrafficGenerator, TrafficConfig
+from repro.traffic.workloads import workload_by_name
+
+__all__ = ["EnvConfig", "DCNEnv"]
+
+
+@dataclass
+class EnvConfig:
+    """Environment construction parameters."""
+
+    pet: PETConfig = field(default_factory=PETConfig)
+    fluid: FluidConfig = field(default_factory=FluidConfig.small)
+    workload: str = "websearch"
+    load: float = 0.6
+    episode_intervals: int = 200
+    agent_switch: Optional[str] = None     # default: first leaf
+    seed: int = 0
+
+
+class DCNEnv:
+    """Gym-style wrapper: one agent, one tuned switch."""
+
+    def __init__(self, config: Optional[EnvConfig] = None,
+                 network_factory: Optional[Callable[[], object]] = None) -> None:
+        self.config = config or EnvConfig()
+        self._factory = network_factory or self._default_factory
+        cfg = self.config
+        self.codec = ActionCodec.from_config(cfg.pet)
+        self.state_builder = StateBuilder(cfg.pet)
+        self.reward = RewardComputer(cfg.pet)
+        self.net = None
+        self.agent_switch = cfg.agent_switch
+        self.history = HistoryWindow(cfg.pet.history_k)
+        self.ncm: Optional[NetworkConditionMonitor] = None
+        self._t = 0
+        self._episode = 0
+
+    # -- spaces -------------------------------------------------------------
+    @property
+    def n_actions(self) -> int:
+        return self.codec.n_actions
+
+    @property
+    def obs_dim(self) -> int:
+        return self.history.obs_dim
+
+    # -- construction ----------------------------------------------------------
+    def _default_factory(self):
+        cfg = self.config
+        net = FluidNetwork(cfg.fluid, seed=cfg.seed + self._episode)
+        rng = np.random.default_rng(cfg.seed + 1000 + self._episode)
+        gen = PoissonTrafficGenerator(net.host_names(),
+                                      workload_by_name(cfg.workload), rng=rng)
+        duration = cfg.episode_intervals * cfg.pet.delta_t
+        net.start_flows(gen.generate(TrafficConfig(
+            load=cfg.load, duration=duration,
+            host_rate_bps=cfg.fluid.host_rate_bps)))
+        return net
+
+    # -- gym API --------------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        self.net = self._factory()
+        self._episode += 1
+        if self.agent_switch is None:
+            self.agent_switch = self.net.switch_names()[0]
+        self.ncm = NetworkConditionMonitor(self.agent_switch, self.config.pet)
+        self.history.clear()
+        self._t = 0
+        # prime the first observation with one idle interval
+        self.net.advance(self.config.pet.delta_t)
+        stats = self.net.queue_stats()[self.agent_switch]
+        analysis = self.ncm.ingest(stats, self.net.now)
+        self.history.push(self.state_builder.build(
+            stats, analysis.incast_degree, analysis.flow_ratio))
+        return self.history.observation()
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict]:
+        if self.net is None:
+            raise RuntimeError("call reset() before step()")
+        ecn = self.codec.decode(int(action))
+        self.net.set_ecn(self.agent_switch, ecn)
+        self.net.advance(self.config.pet.delta_t)
+        stats_all = self.net.queue_stats()
+        stats = stats_all[self.agent_switch]
+        analysis = self.ncm.ingest(stats, self.net.now)
+        self.history.push(self.state_builder.build(
+            stats, analysis.incast_degree, analysis.flow_ratio))
+        obs = self.history.observation()
+        reward = self.reward.compute(stats)
+        self._t += 1
+        done = self._t >= self.config.episode_intervals
+        info = {"utilization": stats.utilization,
+                "avg_qlen_bytes": stats.avg_qlen_bytes,
+                "ecn": ecn, "now": self.net.now}
+        return obs, reward, done, info

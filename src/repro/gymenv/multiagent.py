@@ -1,0 +1,90 @@
+"""Multi-agent Gym-style environment: one agent per switch (DTDE).
+
+Observations, rewards and dones are per-switch dictionaries; actions are
+a dict ``{switch: action_id}``.  This is the exact interface PET's IPPO
+training consumes, factored out so any learner (including third-party
+ones) can train against the simulator without PET's controller plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.action import ActionCodec
+from repro.core.config import PETConfig
+from repro.core.ncm import NetworkConditionMonitor
+from repro.core.reward import RewardComputer
+from repro.core.state import HistoryWindow, StateBuilder
+from repro.gymenv.env import EnvConfig
+
+__all__ = ["MultiAgentDCNEnv"]
+
+
+class MultiAgentDCNEnv:
+    """Per-switch dict-style environment."""
+
+    def __init__(self, config: Optional[EnvConfig] = None,
+                 network_factory: Optional[Callable[[], object]] = None) -> None:
+        from repro.gymenv.env import DCNEnv     # reuse its default factory
+        self.config = config or EnvConfig()
+        self._inner = DCNEnv(self.config, network_factory)
+        self.codec = ActionCodec.from_config(self.config.pet)
+        self.state_builder = StateBuilder(self.config.pet)
+        self.reward = RewardComputer(self.config.pet)
+        self.net = None
+        self.agents: list = []
+        self.ncm: Dict[str, NetworkConditionMonitor] = {}
+        self.history: Dict[str, HistoryWindow] = {}
+        self._t = 0
+
+    @property
+    def n_actions(self) -> int:
+        return self.codec.n_actions
+
+    @property
+    def obs_dim(self) -> int:
+        return self.config.pet.history_k * self.config.pet.n_state_features
+
+    def reset(self) -> Dict[str, np.ndarray]:
+        self._inner._episode += 1
+        self.net = self._inner._factory()
+        self.agents = self.net.switch_names()
+        cfg = self.config.pet
+        self.ncm = {s: NetworkConditionMonitor(s, cfg) for s in self.agents}
+        self.history = {s: HistoryWindow(cfg.history_k) for s in self.agents}
+        self._t = 0
+        self.net.advance(cfg.delta_t)
+        return self._observe()
+
+    def _observe(self) -> Dict[str, np.ndarray]:
+        stats = self.net.queue_stats()
+        obs: Dict[str, np.ndarray] = {}
+        self._last_stats = stats
+        for s in self.agents:
+            st = stats[s]
+            analysis = self.ncm[s].ingest(st, self.net.now)
+            self.history[s].push(self.state_builder.build(
+                st, analysis.incast_degree, analysis.flow_ratio))
+            obs[s] = self.history[s].observation()
+        return obs
+
+    def step(self, actions: Dict[str, int]
+             ) -> Tuple[Dict[str, np.ndarray], Dict[str, float],
+                        Dict[str, bool], Dict]:
+        if self.net is None:
+            raise RuntimeError("call reset() before step()")
+        for s, a in actions.items():
+            self.net.set_ecn(s, self.codec.decode(int(a)))
+        self.net.advance(self.config.pet.delta_t)
+        obs = self._observe()
+        rewards = {s: self.reward.compute(self._last_stats[s])
+                   for s in self.agents}
+        self._t += 1
+        done = self._t >= self.config.episode_intervals
+        dones = {s: done for s in self.agents}
+        info = {"now": self.net.now,
+                "mean_utilization": float(np.mean(
+                    [st.utilization for st in self._last_stats.values()]))}
+        return obs, rewards, dones, info

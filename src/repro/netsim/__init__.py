@@ -1,0 +1,44 @@
+"""Discrete-event data-center network simulator (ns-3 stand-in).
+
+Packet-level components
+-----------------------
+- :mod:`repro.netsim.engine` — event loop.
+- :mod:`repro.netsim.packet` / :mod:`repro.netsim.flow` — data units.
+- :mod:`repro.netsim.ecn` — RED/ECN marking (Kmin, Kmax, Pmax).
+- :mod:`repro.netsim.queueing` — byte-based drop-tail queue with
+  time-weighted statistics and per-flow observation for the NCM.
+- :mod:`repro.netsim.link` / :mod:`repro.netsim.switch` /
+  :mod:`repro.netsim.host` — devices.
+- :mod:`repro.netsim.topology` — leaf–spine fabric with ECMP routing.
+- :mod:`repro.netsim.transport` — DCQCN (default, RDMA-style), DCTCP and
+  HPCC rate control.
+- :mod:`repro.netsim.network` — assembled packet-level network facade
+  implementing the simulator API consumed by :mod:`repro.gymenv`.
+- :mod:`repro.netsim.failures` — link-failure injection (paper Fig. 7).
+
+Fluid model
+-----------
+:mod:`repro.netsim.fluid` is a time-stepped rate/queue model exposing the
+same per-switch statistics interface; it is orders of magnitude faster
+and is what the RL training sweeps in the benchmark harness run on.
+"""
+
+from repro.netsim.engine import Simulator, Event
+from repro.netsim.packet import Packet
+from repro.netsim.flow import Flow, MICE_ELEPHANT_THRESHOLD
+from repro.netsim.ecn import ECNMarker, ECNConfig
+from repro.netsim.queueing import ByteQueue
+from repro.netsim.topology import LeafSpineTopology, TopologyConfig
+from repro.netsim.network import PacketNetwork, QueueStats
+from repro.netsim.fluid import FluidNetwork, FluidConfig
+from repro.netsim.failures import LinkFailureInjector
+from repro.netsim.pfc import PFCController, enable_pfc
+
+__all__ = [
+    "Simulator", "Event", "Packet", "Flow", "MICE_ELEPHANT_THRESHOLD",
+    "ECNMarker", "ECNConfig", "ByteQueue",
+    "LeafSpineTopology", "TopologyConfig",
+    "PacketNetwork", "QueueStats",
+    "FluidNetwork", "FluidConfig", "LinkFailureInjector",
+    "PFCController", "enable_pfc",
+]

@@ -1,0 +1,107 @@
+"""RED/ECN marking — the knob PET tunes.
+
+The AQM marks packets based on the instantaneous queue length ``q``
+against the configured ``(Kmin, Kmax, Pmax)``::
+
+    q <= Kmin                 -> never mark
+    Kmin < q < Kmax           -> mark with prob Pmax * (q - Kmin)/(Kmax - Kmin)
+    q >= Kmax                 -> always mark
+
+which is the standard DCQCN/DCTCP switch behaviour the paper assumes
+(§3.1, §4.2.2).  The action codec in :mod:`repro.core.action` produces
+:class:`ECNConfig` values from the agent's discrete action via
+``K = alpha * 2^n KB`` (paper Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ECNConfig", "ECNMarker"]
+
+
+@dataclass(frozen=True)
+class ECNConfig:
+    """RED marking parameters, in bytes / probability."""
+
+    kmin_bytes: int
+    kmax_bytes: int
+    pmax: float
+
+    def __post_init__(self) -> None:
+        if self.kmin_bytes < 0 or self.kmax_bytes <= 0:
+            raise ValueError("thresholds must be non-negative / positive")
+        if self.kmin_bytes > self.kmax_bytes:
+            raise ValueError(f"Kmin ({self.kmin_bytes}) must not exceed "
+                             f"Kmax ({self.kmax_bytes})")
+        if not 0.0 <= self.pmax <= 1.0:
+            raise ValueError("Pmax must be a probability")
+
+    @classmethod
+    def from_delay(cls, target_delay: float, rate_bps: float,
+                   pmax: float = 1.0, kmin_fraction: float = 0.25
+                   ) -> "ECNConfig":
+        """Thresholds from a queueing-*delay* target (sojourn marking).
+
+        The related-work "ECN with RTT variations" line marks on sojourn
+        time rather than bytes; for a FIFO queue draining at line rate
+        the two are equivalent via ``K = delay * rate``, so a delay
+        budget translates into per-port-speed byte thresholds — a 25G
+        port and a 100G port get 4x-different Kmax for the same delay.
+        """
+        if target_delay <= 0 or rate_bps <= 0:
+            raise ValueError("delay and rate must be positive")
+        kmax = max(int(target_delay * rate_bps / 8.0), 1)
+        kmin = max(int(kmax * kmin_fraction), 0)
+        return cls(kmin, kmax, pmax)
+
+    def marking_probability(self, qlen_bytes: float) -> float:
+        """RED marking probability for instantaneous queue length."""
+        if qlen_bytes <= self.kmin_bytes:
+            return 0.0
+        if qlen_bytes >= self.kmax_bytes:
+            return 1.0
+        span = self.kmax_bytes - self.kmin_bytes
+        if span == 0:
+            return 1.0
+        return self.pmax * (qlen_bytes - self.kmin_bytes) / span
+
+
+#: SECN1 — DCQCN's recommended static setting (paper §5.4).
+SECN1 = ECNConfig(kmin_bytes=5_000, kmax_bytes=200_000, pmax=0.01)
+#: SECN2 — HPCC's static setting (paper §5.4).
+SECN2 = ECNConfig(kmin_bytes=100_000, kmax_bytes=400_000, pmax=0.01)
+
+
+class ECNMarker:
+    """Stateful marker bound to one queue; counts marking decisions."""
+
+    def __init__(self, config: ECNConfig, rng: np.random.Generator | None = None) -> None:
+        self.config = config
+        self.rng = rng or np.random.default_rng()
+        self.marks = 0
+        self.decisions = 0
+
+    def set_config(self, config: ECNConfig) -> None:
+        """Reconfigure thresholds (what the ECN-CM does at each tuning)."""
+        self.config = config
+
+    def should_mark(self, qlen_bytes: float) -> bool:
+        """Bernoulli marking decision for the current queue occupancy."""
+        self.decisions += 1
+        p = self.config.marking_probability(qlen_bytes)
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            self.marks += 1
+            return True
+        if self.rng.random() < p:
+            self.marks += 1
+            return True
+        return False
+
+    def mark_fraction(self) -> float:
+        """Fraction of decisions that resulted in a mark so far."""
+        return self.marks / self.decisions if self.decisions else 0.0

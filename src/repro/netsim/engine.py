@@ -1,0 +1,112 @@
+"""Discrete-event simulation engine.
+
+A classic calendar-queue simulator: events are ``(time, seq, callback)``
+entries in a binary heap; ``seq`` breaks ties FIFO so same-time events
+execute in scheduling order (deterministic runs).  Events can be
+cancelled in O(1) by flagging the handle; cancelled entries are skipped
+at pop time (lazy deletion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        # Drop references so cancelled events don't pin objects in the heap.
+        self.fn = _noop
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.9f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Event loop with virtual time in seconds."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        ev = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # -- running -------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the horizon, the event cap, or exhaustion.
+
+        Returns the number of events processed by this call.  After a run
+        with a horizon, ``now`` is advanced to the horizon even if the heap
+        drained earlier, so repeated ``run(until=...)`` calls advance a
+        wall-clock-like timeline.
+        """
+        processed = 0
+        while self._heap:
+            ev = self._heap[0]
+            if until is not None and ev.time > until:
+                break
+            heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.fn(*ev.args)
+            processed += 1
+            self._events_processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and self.now < until:
+            self.now = until
+        return processed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

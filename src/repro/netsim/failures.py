@@ -1,0 +1,69 @@
+"""Link-failure injection (paper §5.5.5, Fig. 7).
+
+The robustness experiment disconnects 10% of switch links at t=3.1s and
+restores them at t=6.1s.  The injector flips the ``up`` flag on randomly
+chosen *fabric* ports (leaf↔spine; host links have no alternate path so
+failing them just kills flows rather than testing rerouting).  ECMP in
+:class:`repro.netsim.switch.SwitchNode` excludes down ports, so traffic
+shifts onto the surviving paths and queue pressure rises — which is what
+the ECN tuner must adapt to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.network import PacketNetwork
+
+__all__ = ["LinkFailureInjector"]
+
+
+class LinkFailureInjector:
+    """Schedules fail/restore events on a fraction of fabric links."""
+
+    def __init__(self, network: PacketNetwork,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.network = network
+        self.rng = rng or np.random.default_rng()
+        self.failed: List[Tuple[str, int]] = []
+
+    def _ports(self) -> List[Tuple[str, int]]:
+        return list(self.network.topology.fabric_ports)
+
+    def fail_fraction(self, fraction: float) -> List[Tuple[str, int]]:
+        """Immediately take down ``fraction`` of fabric ports."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        ports = self._ports()
+        n = max(1, int(round(fraction * len(ports))))
+        chosen_idx = self.rng.choice(len(ports), size=n, replace=False)
+        chosen = [ports[i] for i in np.atleast_1d(chosen_idx)]
+        for sw_name, port_idx in chosen:
+            sw = self.network.topology.node(sw_name)
+            sw.ports[port_idx].set_up(False)
+        self.failed.extend(chosen)
+        return chosen
+
+    def restore_all(self) -> int:
+        """Bring every previously failed port back up."""
+        count = len(self.failed)
+        for sw_name, port_idx in self.failed:
+            sw = self.network.topology.node(sw_name)
+            sw.ports[port_idx].set_up(True)
+        self.failed.clear()
+        return count
+
+    def schedule_episode(self, fail_at: float, restore_at: float,
+                         fraction: float = 0.10) -> None:
+        """Paper Fig. 7 schedule: fail at 3.1s, restore at 6.1s (defaults
+        are supplied by the caller, which scales times to its run length)."""
+        if restore_at <= fail_at:
+            raise ValueError("restore must come after failure")
+        sim = self.network.sim
+        sim.schedule_at(fail_at, self.fail_fraction, fraction)
+        sim.schedule_at(restore_at, self.restore_all)
+
+    def any_down(self) -> bool:
+        return bool(self.failed)

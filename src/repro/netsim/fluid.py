@@ -1,0 +1,527 @@
+"""Time-stepped fluid-model DCN simulator.
+
+Packet-level simulation of a 288-host fabric for seconds of virtual time
+is far too slow in Python for RL training sweeps, so — as a documented
+substitution for the paper's ns-3 testbed (DESIGN.md §2) — this module
+models the same leaf–spine fabric at *rate* granularity:
+
+- every flow is a fluid with a sending rate controlled by a DCQCN-style
+  AIMD reacting to RED/ECN marking,
+- every switch egress port is a queue integrating
+  ``dq/dt = arrival - capacity``,
+- the RED curve on the *instantaneous* queue length produces the mark
+  fraction that (a) feeds back to senders and (b) is reported as
+  txRate^(m) in the switch statistics.
+
+The per-switch statistics interface (``advance`` / ``queue_stats`` /
+``set_ecn``) matches :class:`repro.netsim.network.PacketNetwork`, so PET,
+ACC and the static baselines run unmodified on either simulator.  The
+test suite cross-validates the two models' queue dynamics.
+
+All per-step work is vectorized over flows and queues with NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.ecn import ECNConfig
+from repro.netsim.ecn import SECN1 as _DEFAULT_ECN
+from repro.netsim.flow import Flow
+from repro.netsim.network import QueueStats
+from repro.netsim.queueing import FlowObservation
+
+__all__ = ["FluidConfig", "FluidNetwork"]
+
+
+@dataclass
+class FluidConfig:
+    """Fabric shape (paper scale by default) and fluid-CC constants."""
+
+    n_spine: int = 6
+    n_leaf: int = 12
+    hosts_per_leaf: int = 24
+    host_rate_bps: float = 25e9
+    spine_rate_bps: float = 100e9
+    base_rtt: float = 16e-6
+    step_dt: float = 50e-6
+    default_ecn: ECNConfig = field(default_factory=lambda: _DEFAULT_ECN)
+    # DCQCN-like fluid constants
+    g: float = 0.06              # alpha EWMA gain per step
+    md_gain: float = 0.5         # rate cut = rc * alpha/2 * md_gain * f
+    ai_fraction: float = 0.01    # additive increase per step, of line rate
+    min_rate_fraction: float = 0.002
+    start_rate_fraction: float = 1.0
+    switch_buffer_bytes: int = 9_000_000
+    latency_sample_cap: int = 100_000
+
+    def __post_init__(self) -> None:
+        if min(self.n_spine, self.n_leaf, self.hosts_per_leaf) < 1:
+            raise ValueError("topology dimensions must be >= 1")
+        if self.step_dt <= 0:
+            raise ValueError("step_dt must be positive")
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_leaf * self.hosts_per_leaf
+
+    @classmethod
+    def small(cls) -> "FluidConfig":
+        """A 32-host fabric for quick tests."""
+        return cls(n_spine=2, n_leaf=4, hosts_per_leaf=8,
+                   host_rate_bps=10e9, spine_rate_bps=40e9)
+
+
+class FluidNetwork:
+    """Vectorized fluid simulation of a leaf–spine DCN.
+
+    Queue layout (Q queues total):
+
+    - ``leaf_down[j, h]`` — leaf j to each of its hosts (n_hosts queues),
+    - ``leaf_up[j, s]``   — leaf j to spine s (n_leaf*n_spine),
+    - ``spine_down[s, j]``— spine s to leaf j (n_spine*n_leaf).
+
+    Each flow traverses up to three of them; intra-leaf flows only the
+    final ``leaf_down``.
+    """
+
+    _MAX_HOPS = 3
+
+    def __init__(self, config: Optional[FluidConfig] = None, *,
+                 seed: Optional[int] = None) -> None:
+        self.config = config or FluidConfig()
+        self.rng = np.random.default_rng(seed)
+        cfg = self.config
+        self.now = 0.0
+
+        # ---- queues ------------------------------------------------------
+        n_ld = cfg.n_hosts
+        n_lu = cfg.n_leaf * cfg.n_spine
+        n_sd = cfg.n_spine * cfg.n_leaf
+        self.n_queues = n_ld + n_lu + n_sd
+        self._ld0, self._lu0, self._sd0 = 0, n_ld, n_ld + n_lu
+        self.q_cap = np.empty(self.n_queues)                 # bytes/s
+        self.q_cap[:n_ld] = cfg.host_rate_bps / 8.0
+        self.q_cap[n_ld:] = cfg.spine_rate_bps / 8.0
+        self.q_cap_nominal = self.q_cap.copy()
+        self.q_len = np.zeros(self.n_queues)                 # bytes
+        self.q_switch = np.empty(self.n_queues, dtype=np.int64)
+        # switch ids: 0..n_leaf-1 leaves, n_leaf..n_leaf+n_spine-1 spines
+        for i in range(n_ld):
+            self.q_switch[self._ld0 + i] = i // cfg.hosts_per_leaf
+        for j in range(cfg.n_leaf):
+            for s in range(cfg.n_spine):
+                self.q_switch[self._lu0 + j * cfg.n_spine + s] = j
+                self.q_switch[self._sd0 + s * cfg.n_leaf + j] = cfg.n_leaf + s
+        self.n_switches = cfg.n_leaf + cfg.n_spine
+        self.kmin = np.full(self.n_queues, float(cfg.default_ecn.kmin_bytes))
+        self.kmax = np.full(self.n_queues, float(cfg.default_ecn.kmax_bytes))
+        self.pmax = np.full(self.n_queues, float(cfg.default_ecn.pmax))
+        self._ecn_by_switch: Dict[int, ECNConfig] = {
+            s: cfg.default_ecn for s in range(self.n_switches)}
+        self.spine_up = np.ones(cfg.n_spine, dtype=bool)
+        # per-(leaf,spine) uplink health for fine-grained failures
+        self.uplink_up = np.ones((cfg.n_leaf, cfg.n_spine), dtype=bool)
+
+        # ---- flow arrays (grow-on-demand) ---------------------------------
+        self._cap_flows = 1024
+        self._n_flows = 0
+        self.f_src = np.zeros(self._cap_flows, dtype=np.int64)
+        self.f_dst = np.zeros(self._cap_flows, dtype=np.int64)
+        self.f_size = np.zeros(self._cap_flows)
+        self.f_remaining = np.zeros(self._cap_flows)
+        self.f_rate = np.zeros(self._cap_flows)              # bytes/s
+        self.f_alpha = np.zeros(self._cap_flows)
+        self.f_active = np.zeros(self._cap_flows, dtype=bool)
+        self.f_path = np.full((self._cap_flows, self._MAX_HOPS), -1, dtype=np.int64)
+        self.f_spine = np.full(self._cap_flows, -1, dtype=np.int64)
+        self.flow_objs: Dict[int, Flow] = {}
+        self._fid_to_idx: Dict[int, int] = {}
+        self._idx_to_fid: Dict[int, int] = {}
+        self._free_list: List[int] = []     # recycled flow slots
+        self._pending: List[Flow] = []    # sorted by start_time (lazily)
+        self._pending_sorted = True
+        self.finished_flows: List[Flow] = []
+        self.latencies: List[Tuple[float, float]] = []
+
+        # ---- interval stats accumulators -----------------------------------
+        self._acc_tx = np.zeros(self.n_queues)        # bytes served
+        self._acc_marked = np.zeros(self.n_queues)    # marked bytes served
+        self._acc_qlen_area = np.zeros(self.n_queues)
+        self._acc_time = 0.0
+        self._acc_drops = np.zeros(self.n_queues)
+
+    # ------------------------------------------------------------ topology
+    def switch_names(self) -> List[str]:
+        cfg = self.config
+        return [f"leaf{j}" for j in range(cfg.n_leaf)] + \
+               [f"spine{s}" for s in range(cfg.n_spine)]
+
+    def host_names(self) -> List[str]:
+        return [f"h{i}" for i in range(self.config.n_hosts)]
+
+    def _switch_id(self, name: str) -> int:
+        if name.startswith("leaf"):
+            return int(name[4:])
+        if name.startswith("spine"):
+            return self.config.n_leaf + int(name[5:])
+        raise KeyError(f"unknown switch {name!r}")
+
+    def _leaf_of(self, host: int) -> int:
+        return host // self.config.hosts_per_leaf
+
+    def _route(self, idx: int) -> None:
+        """(Re)compute the queue path of flow slot ``idx``."""
+        cfg = self.config
+        src, dst = int(self.f_src[idx]), int(self.f_dst[idx])
+        jl, jr = self._leaf_of(src), self._leaf_of(dst)
+        path = np.full(self._MAX_HOPS, -1, dtype=np.int64)
+        if jl == jr:
+            path[0] = self._ld0 + dst
+            self.f_spine[idx] = -1
+        else:
+            live = [s for s in range(cfg.n_spine)
+                    if self.uplink_up[jl, s] and self.uplink_up[jr, s]]
+            if not live:
+                live = list(range(cfg.n_spine))   # partitioned: keep old path
+            fid = self._idx_to_fid[idx]
+            s = live[hash((fid, 0x9E37)) % len(live)]
+            self.f_spine[idx] = s
+            path[0] = self._lu0 + jl * cfg.n_spine + s
+            path[1] = self._sd0 + s * cfg.n_leaf + jr
+            path[2] = self._ld0 + dst
+        self.f_path[idx] = path
+
+    # ------------------------------------------------------------ flows
+    def _grow(self) -> None:
+        new_cap = self._cap_flows * 2
+        for name in ("f_src", "f_dst", "f_size", "f_remaining", "f_rate",
+                     "f_alpha", "f_active", "f_spine"):
+            arr = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=arr.dtype)
+            grown[:self._cap_flows] = arr
+            if name == "f_spine":
+                grown[self._cap_flows:] = -1
+            setattr(self, name, grown)
+        grown_path = np.full((new_cap, self._MAX_HOPS), -1, dtype=np.int64)
+        grown_path[:self._cap_flows] = self.f_path
+        self.f_path = grown_path
+        self._cap_flows = new_cap
+
+    def start_flow(self, flow: Flow) -> None:
+        """Register a flow; it activates when ``now`` reaches its start."""
+        if flow.flow_id in self.flow_objs:
+            raise ValueError(f"duplicate flow id {flow.flow_id}")
+        if not 0 <= self._host_index(flow.src) < self.config.n_hosts:
+            raise ValueError(f"unknown host {flow.src}")
+        self.flow_objs[flow.flow_id] = flow
+        self._pending.append(flow)
+        self._pending_sorted = False
+
+    def start_flows(self, flows: List[Flow]) -> None:
+        for f in flows:
+            self.start_flow(f)
+
+    @staticmethod
+    def _host_index(name) -> int:
+        if isinstance(name, str):
+            return int(name[1:])
+        return int(name)
+
+    def _activate_due(self) -> None:
+        if not self._pending:
+            return
+        if not self._pending_sorted:
+            self._pending.sort(key=lambda f: f.start_time)
+            self._pending_sorted = True
+        while self._pending and self._pending[0].start_time <= self.now:
+            flow = self._pending.pop(0)
+            if self._n_flows >= self._cap_flows:
+                self._grow()
+            idx = self._free_slot()
+            fid = flow.flow_id
+            self._fid_to_idx[fid] = idx
+            self._idx_to_fid[idx] = fid
+            self.f_src[idx] = self._host_index(flow.src)
+            self.f_dst[idx] = self._host_index(flow.dst)
+            self.f_size[idx] = flow.size_bytes
+            self.f_remaining[idx] = flow.size_bytes
+            self.f_rate[idx] = (self.config.start_rate_fraction
+                                * self.config.host_rate_bps / 8.0)
+            self.f_alpha[idx] = 1.0
+            self.f_active[idx] = True
+            self._route(idx)
+
+    def _free_slot(self) -> int:
+        # O(1): recycle a finished flow's slot, else extend the
+        # high-water mark (keeping per-step vector ops proportional to
+        # the concurrent — not cumulative — flow count).
+        if self._free_list:
+            return self._free_list.pop()
+        if self._n_flows >= self._cap_flows:
+            self._grow()
+        idx = self._n_flows
+        self._n_flows += 1
+        return idx
+
+    # ------------------------------------------------------------ dynamics
+    def advance(self, dt: float) -> None:
+        """Advance virtual time by ``dt`` (an integer number of steps)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        steps = max(1, int(round(dt / self.config.step_dt)))
+        for _ in range(steps):
+            self._step(self.config.step_dt)
+
+    def _step(self, dt: float) -> None:
+        cfg = self.config
+        self.now += dt
+        self._activate_due()
+        n = self._n_flows
+        if n == 0:
+            self._acc_qlen_area += self.q_len * dt
+            self._acc_time += dt
+            return
+        active = self.f_active[:n]
+        idx = np.flatnonzero(active)
+        rate = self.f_rate[:n]
+
+        # --- NIC sharing: cap the sum of a host's flow rates at line rate.
+        line = cfg.host_rate_bps / 8.0
+        src = self.f_src[:n]
+        send = np.where(active, rate, 0.0)
+        per_src = np.bincount(src[idx], weights=send[idx], minlength=cfg.n_hosts)
+        over = per_src > line
+        if over.any():
+            scale_src = np.ones(cfg.n_hosts)
+            scale_src[over] = line / per_src[over]
+            send = send * scale_src[src]
+
+        # --- arrivals per queue ------------------------------------------
+        path = self.f_path[:n]
+        arrival = np.zeros(self.n_queues)
+        for hop in range(self._MAX_HOPS):
+            qs = path[idx, hop]
+            ok = qs >= 0
+            if ok.any():
+                np.add.at(arrival, qs[ok], send[idx][ok])
+
+        # --- queue integration & marking -----------------------------------
+        cap = self.q_cap
+        served_rate = np.minimum(arrival + self.q_len / dt, cap)
+        new_qlen = np.clip(self.q_len + (arrival - cap) * dt, 0.0, None)
+        overflow = new_qlen - cfg.switch_buffer_bytes
+        drops = np.clip(overflow, 0.0, None)
+        new_qlen = np.minimum(new_qlen, cfg.switch_buffer_bytes)
+        # RED mark probability on instantaneous occupancy
+        span = np.maximum(self.kmax - self.kmin, 1.0)
+        p_mark = np.clip((new_qlen - self.kmin) / span, 0.0, 1.0) * self.pmax
+        p_mark = np.where(new_qlen >= self.kmax, 1.0, p_mark)
+
+        # --- stats ----------------------------------------------------------
+        self._acc_tx += served_rate * dt
+        self._acc_marked += served_rate * dt * p_mark
+        self._acc_qlen_area += 0.5 * (self.q_len + new_qlen) * dt
+        self._acc_drops += drops
+        self._acc_time += dt
+        self.q_len = new_qlen
+
+        # --- end-to-end mark fraction per flow --------------------------------
+        no_mark = np.ones(n)
+        bottleneck = np.ones(n)
+        qdelay = np.zeros(n)
+        srv_ratio = cap / np.maximum(arrival, cap)   # <=1 where overloaded
+        for hop in range(self._MAX_HOPS):
+            qs = path[:, hop]
+            ok = (qs >= 0) & active
+            if ok.any():
+                no_mark[ok] *= 1.0 - p_mark[qs[ok]]
+                bottleneck[ok] = np.minimum(bottleneck[ok], srv_ratio[qs[ok]])
+                qdelay[ok] += self.q_len[qs[ok]] / cap[qs[ok]]
+        mark_frac = 1.0 - no_mark
+
+        # --- DCQCN-like AIMD ---------------------------------------------------
+        a = self.f_alpha[:n]
+        a[active] = (1.0 - cfg.g) * a[active] + cfg.g * mark_frac[active]
+        cut = 1.0 - (a * 0.5 * cfg.md_gain * mark_frac)
+        grow = cfg.ai_fraction * line
+        new_rate = np.where(mark_frac > 1e-3, rate * cut, rate + grow)
+        floor = cfg.min_rate_fraction * line
+        self.f_rate[:n] = np.where(active, np.clip(new_rate, floor, line), rate)
+
+        # --- progress & completion ---------------------------------------------
+        throughput = send * bottleneck
+        self.f_remaining[:n] -= throughput * dt
+        finished = active & (self.f_remaining[:n] <= 0.0)
+        if finished.any():
+            for i in np.flatnonzero(finished):
+                fid = self._idx_to_fid[int(i)]
+                flow = self.flow_objs[fid]
+                # account residual queueing delay into the FCT
+                flow.finish_time = self.now + qdelay[i]
+                flow.bytes_sent = flow.size_bytes
+                flow.bytes_acked = flow.size_bytes
+                self.finished_flows.append(flow)
+                self.f_active[i] = False
+                self.f_remaining[i] = 0.0
+                del self._idx_to_fid[int(i)]
+                self._free_list.append(int(i))
+
+        # --- latency sampling (Fig. 8): one random active flow per step ----------
+        if len(self.latencies) < cfg.latency_sample_cap:
+            act_idx = np.flatnonzero(self.f_active[:n])
+            if act_idx.size:
+                i = int(act_idx[self.rng.integers(act_idx.size)])
+                self.latencies.append(
+                    (self.now, cfg.base_rtt / 2.0 + qdelay[i]))
+
+    # ------------------------------------------------------------ stats & control
+    def queue_stats(self) -> Dict[str, QueueStats]:
+        """Per-switch interval statistics; resets the interval."""
+        interval = max(self._acc_time, 1e-12)
+        names = self.switch_names()
+        out: Dict[str, QueueStats] = {}
+        flow_obs_by_switch = self._flow_observations()
+        for s, name in enumerate(names):
+            mask = self.q_switch == s
+            tx = float(self._acc_tx[mask].sum())
+            marked = float(self._acc_marked[mask].sum())
+            avg_q = float(self._acc_qlen_area[mask].sum()) / interval
+            drops = float(self._acc_drops[mask].sum())
+            out[name] = QueueStats(
+                switch=name, interval=interval,
+                qlen_bytes=float(self.q_len[mask].sum()),
+                max_port_qlen_bytes=float(self.q_len[mask].max(initial=0.0)),
+                avg_qlen_bytes=avg_q,
+                tx_bytes=int(tx), tx_marked_bytes=int(marked),
+                dropped_pkts=int(drops // 1000) if drops else 0,
+                capacity_bps=float(self.q_cap[mask].sum() * 8.0),
+                ecn=self._ecn_by_switch[s], n_queues=int(mask.sum()),
+                flow_obs=flow_obs_by_switch.get(s, {}))
+        self._acc_tx[:] = 0.0
+        self._acc_marked[:] = 0.0
+        self._acc_qlen_area[:] = 0.0
+        self._acc_drops[:] = 0.0
+        self._acc_time = 0.0
+        return out
+
+    def _flow_observations(self) -> Dict[int, Dict[int, FlowObservation]]:
+        """Active-flow observations grouped by every switch on their path."""
+        out: Dict[int, Dict[int, FlowObservation]] = {}
+        n = self._n_flows
+        for i in np.flatnonzero(self.f_active[:n]):
+            fid = self._idx_to_fid[int(i)]
+            flow = self.flow_objs[fid]
+            seen = float(self.f_size[i] - self.f_remaining[i])
+            obs = FlowObservation(fid, flow.src, flow.dst,
+                                  int(max(seen, 1.0)), self.now)
+            for hop in range(self._MAX_HOPS):
+                q = int(self.f_path[i, hop])
+                if q < 0:
+                    continue
+                out.setdefault(int(self.q_switch[q]), {})[fid] = obs
+        return out
+
+    def switch_queue_indices(self, switch_name: str) -> List[int]:
+        """Global queue ids belonging to one switch, in stable order."""
+        s = self._switch_id(switch_name)
+        return [int(i) for i in np.flatnonzero(self.q_switch == s)]
+
+    def port_stats(self) -> Dict[Tuple[str, int], QueueStats]:
+        """Per-queue interval statistics (multi-queue mode, §4.5.2).
+
+        Does not reset interval accumulators; pair with
+        :meth:`queue_stats` once per interval.
+        """
+        interval = max(self._acc_time, 1e-12)
+        out: Dict[Tuple[str, int], QueueStats] = {}
+        for name in self.switch_names():
+            for local, q in enumerate(self.switch_queue_indices(name)):
+                out[(name, local)] = QueueStats(
+                    switch=name, interval=interval,
+                    qlen_bytes=float(self.q_len[q]),
+                    max_port_qlen_bytes=float(self.q_len[q]),
+                    avg_qlen_bytes=float(self._acc_qlen_area[q]) / interval,
+                    tx_bytes=int(self._acc_tx[q]),
+                    tx_marked_bytes=int(self._acc_marked[q]),
+                    dropped_pkts=0,
+                    capacity_bps=float(self.q_cap[q] * 8.0),
+                    ecn=ECNConfig(int(self.kmin[q]), int(self.kmax[q]),
+                                  float(self.pmax[q])),
+                    n_queues=1)
+        return out
+
+    def set_ecn_port(self, switch_name: str, port_idx: int,
+                     config: ECNConfig) -> None:
+        """Configure a single queue of a switch (multi-queue mode)."""
+        qs = self.switch_queue_indices(switch_name)
+        q = qs[port_idx]
+        self.kmin[q] = config.kmin_bytes
+        self.kmax[q] = config.kmax_bytes
+        self.pmax[q] = config.pmax
+
+    def set_ecn(self, switch_name: str, config: ECNConfig) -> None:
+        s = self._switch_id(switch_name)
+        mask = self.q_switch == s
+        self.kmin[mask] = config.kmin_bytes
+        self.kmax[mask] = config.kmax_bytes
+        self.pmax[mask] = config.pmax
+        self._ecn_by_switch[s] = config
+
+    def set_ecn_all(self, config: ECNConfig) -> None:
+        for name in self.switch_names():
+            self.set_ecn(name, config)
+
+    # ------------------------------------------------------------ failures
+    def fail_uplinks(self, fraction: float,
+                     rng: Optional[np.random.Generator] = None) -> int:
+        """Disable a fraction of leaf↔spine links and reroute around them."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = rng or self.rng
+        flat = np.flatnonzero(self.uplink_up.ravel())
+        k = max(1, int(round(fraction * self.uplink_up.size)))
+        chosen = rng.choice(flat, size=min(k, flat.size), replace=False)
+        up = self.uplink_up.ravel()
+        up[chosen] = False
+        self.uplink_up = up.reshape(self.uplink_up.shape)
+        self._apply_link_state()
+        return int(len(chosen))
+
+    def restore_uplinks(self) -> None:
+        self.uplink_up[:] = True
+        self._apply_link_state()
+
+    def _apply_link_state(self) -> None:
+        cfg = self.config
+        for j in range(cfg.n_leaf):
+            for s in range(cfg.n_spine):
+                alive = self.uplink_up[j, s]
+                factor = 1.0 if alive else 1e-6
+                qu = self._lu0 + j * cfg.n_spine + s
+                qd = self._sd0 + s * cfg.n_leaf + j
+                self.q_cap[qu] = self.q_cap_nominal[qu] * factor
+                self.q_cap[qd] = self.q_cap_nominal[qd] * factor
+        # Reroute flows whose spine is unreachable on either end.
+        for i in np.flatnonzero(self.f_active[:self._n_flows]):
+            s = int(self.f_spine[i])
+            if s < 0:
+                continue
+            jl = self._leaf_of(int(self.f_src[i]))
+            jr = self._leaf_of(int(self.f_dst[i]))
+            if not (self.uplink_up[jl, s] and self.uplink_up[jr, s]):
+                self._route(int(i))
+
+    # ------------------------------------------------------------ convenience
+    def active_flow_count(self) -> int:
+        return int(self.f_active[:self._n_flows].sum()) + len(self._pending)
+
+    def total_drops(self) -> int:
+        return int(self._acc_drops.sum())
+
+    @property
+    def flows(self) -> Dict[int, Flow]:
+        return self.flow_objs

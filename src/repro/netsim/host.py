@@ -1,0 +1,65 @@
+"""End-host model: a NIC port plus a pluggable transport.
+
+Hosts are endpoints only — they originate flows through their transport
+(:mod:`repro.netsim.transport`) and terminate packets addressed to them.
+Delivered data packets are also reported to the network facade so the
+harness can collect per-packet latency samples (paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.netsim.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.engine import Simulator
+    from repro.netsim.link import OutputPort
+    from repro.netsim.transport.base import HostTransport
+
+__all__ = ["HostNode"]
+
+
+class HostNode:
+    """A server: one NIC uplink and one transport instance."""
+
+    def __init__(self, name: str, sim: "Simulator") -> None:
+        self.name = name
+        self.sim = sim
+        self.nic: Optional["OutputPort"] = None
+        self.transport: Optional["HostTransport"] = None
+        #: optional hook called with every delivered DATA packet.
+        self.on_data_delivered: Optional[Callable[[Packet], None]] = None
+        self.rx_bytes = 0
+        self.rx_pkts = 0
+
+    def attach_nic(self, port: "OutputPort") -> None:
+        self.nic = port
+
+    def attach_transport(self, transport: "HostTransport") -> None:
+        self.transport = transport
+
+    def send(self, pkt: Packet) -> bool:
+        """Inject a packet into the NIC egress queue."""
+        if self.nic is None:
+            raise RuntimeError(f"host {self.name} has no NIC attached")
+        return self.nic.send(pkt)
+
+    def receive(self, pkt: Packet) -> None:
+        """Terminate a packet addressed to this host."""
+        if pkt.dst != self.name:
+            # Mis-delivery indicates a routing-table bug; drop loudly in
+            # tests via the counter rather than silently.
+            return
+        pkt.deliver_time = self.sim.now
+        if pkt.kind == PacketKind.DATA:
+            self.rx_bytes += pkt.size_bytes
+            self.rx_pkts += 1
+            if self.on_data_delivered is not None:
+                self.on_data_delivered(pkt)
+        if self.transport is not None:
+            self.transport.on_receive(pkt)
+
+    @property
+    def link_rate_bps(self) -> float:
+        return self.nic.rate_bps if self.nic is not None else 0.0

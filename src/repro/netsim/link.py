@@ -1,0 +1,150 @@
+"""Output ports and links.
+
+A :class:`OutputPort` models the serializing egress of a device: packets
+wait in the port's :class:`~repro.netsim.queueing.ByteQueue`, are
+transmitted one at a time at the link rate, and arrive at the peer after
+the propagation delay.  Switch ports additionally run the RED/ECN marker
+at enqueue time (instantaneous-queue-length marking, as DCQCN assumes)
+and append INT telemetry at dequeue for HPCC flows.
+
+Ports can be taken down/up for the link-failure experiments; a down port
+drops everything handed to it and reports ``up == False`` so routing can
+steer around it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.netsim.ecn import ECNConfig, ECNMarker
+from repro.netsim.packet import INTRecord, Packet, PacketKind
+from repro.netsim.queueing import ByteQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.engine import Simulator
+
+__all__ = ["OutputPort"]
+
+
+class OutputPort:
+    """One egress port: queue + serializer + propagation.
+
+    Parameters
+    ----------
+    sim:
+        The event engine.
+    owner, peer:
+        Devices on each end; ``peer.receive(pkt)`` is invoked on delivery.
+    rate_bps:
+        Link line rate in bits per second.
+    prop_delay:
+        One-way propagation delay in seconds.
+    queue:
+        Egress queue; defaults to a 2 MB drop-tail queue.
+    marker:
+        RED/ECN marker; ``None`` for host NIC ports (hosts don't mark).
+    int_enabled:
+        When True, the port appends an :class:`INTRecord` to packets that
+        carry an ``int_records`` list (HPCC telemetry).
+    """
+
+    def __init__(self, sim: "Simulator", owner: Any, peer: Any, rate_bps: float,
+                 prop_delay: float, queue: Optional[ByteQueue] = None,
+                 marker: Optional[ECNMarker] = None, int_enabled: bool = False,
+                 name: str = "") -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if prop_delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.sim = sim
+        self.owner = owner
+        self.peer = peer
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.queue = queue if queue is not None else ByteQueue()
+        self.marker = marker
+        self.int_enabled = int_enabled
+        self.name = name or f"{getattr(owner, 'name', owner)}->{getattr(peer, 'name', peer)}"
+        self.up = True
+        self.paused = False       # PFC pause (repro.netsim.pfc)
+        self._busy = False
+        self.tx_bytes_total = 0  # cumulative, for INT txBytes
+
+    # -- configuration ---------------------------------------------------
+    def set_ecn(self, config: ECNConfig) -> None:
+        if self.marker is None:
+            raise RuntimeError(f"port {self.name} has no ECN marker")
+        self.marker.set_config(config)
+
+    def set_up(self, up: bool) -> None:
+        self.up = up
+
+    def set_paused(self, paused: bool) -> None:
+        """PFC pause/resume: a paused port finishes the packet in flight
+        but dequeues nothing further until resumed."""
+        was_paused = self.paused
+        self.paused = paused
+        if was_paused and not paused and not self._busy:
+            self._start_tx()
+
+    # -- datapath ----------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Enqueue a packet for transmission; returns False if dropped."""
+        if not self.up:
+            self.queue.counters.dropped_pkts += 1
+            self.queue.counters.dropped_bytes += pkt.size_bytes
+            return False
+        now = self.sim.now
+        # RED/ECN marking on enqueue against the *current* occupancy.
+        if self.marker is not None and pkt.kind == PacketKind.DATA and self.marker.should_mark(
+                self.queue.qlen_bytes):
+            pkt.mark_ce()
+        if not self.queue.enqueue(pkt, now):
+            return False
+        if not self._busy:
+            self._start_tx()
+        return True
+
+    def _start_tx(self) -> None:
+        if self.paused:
+            # Data is paused; control (ACK/CNP) rides its own priority
+            # class and keeps flowing so transports don't starve.
+            pkt = self.queue.dequeue_first_control(self.sim.now)
+            if pkt is None:
+                self._busy = False
+                return
+            self._busy = True
+            tx_time = pkt.size_bytes * 8.0 / self.rate_bps
+            self.tx_bytes_total += pkt.size_bytes
+            self.sim.schedule(tx_time, self._finish_tx, pkt)
+            return
+        pkt = self.queue.dequeue(self.sim.now)
+        if pkt is None:
+            self._busy = False
+            return
+        self._busy = True
+        if self.int_enabled and pkt.int_records is not None:
+            pkt.int_records.append(INTRecord(
+                node=getattr(self.owner, "name", self.owner),
+                qlen_bytes=self.queue.qlen_bytes,
+                tx_bytes=self.tx_bytes_total,
+                timestamp=self.sim.now,
+                link_rate_bps=self.rate_bps))
+        tx_time = pkt.size_bytes * 8.0 / self.rate_bps
+        self.tx_bytes_total += pkt.size_bytes
+        self.sim.schedule(tx_time, self._finish_tx, pkt)
+
+    def _finish_tx(self, pkt: Packet) -> None:
+        # Deliver after propagation (unless the link failed mid-flight).
+        if self.up:
+            self.sim.schedule(self.prop_delay, self.peer.receive, pkt)
+        self._start_tx()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def qlen_bytes(self) -> int:
+        return self.queue.qlen_bytes
+
+    def utilization_capacity(self) -> float:
+        """Line rate in bytes/second (stats normalizer)."""
+        return self.rate_bps / 8.0

@@ -1,0 +1,90 @@
+"""Packet representation.
+
+Packets carry the ECN codepoint semantics of RFC 3168 (§3.1 of the
+paper): ECT on capable transports, CE set by switches whose RED marker
+fires, and the receiver echoing congestion back to the sender (ECE for
+window transports, CNP packets for DCQCN).  HPCC's inline network
+telemetry is modelled with an optional per-hop ``int_records`` list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["ECNCodepoint", "PacketKind", "Packet", "INTRecord"]
+
+
+class ECNCodepoint(IntEnum):
+    """IP-header ECN field values (RFC 3168)."""
+
+    NON_ECT = 0   # not ECN-capable
+    ECT = 1       # ECN-capable transport
+    CE = 3        # congestion experienced
+
+
+class PacketKind(IntEnum):
+    DATA = 0
+    ACK = 1
+    CNP = 2   # DCQCN Congestion Notification Packet
+
+
+@dataclass
+class INTRecord:
+    """Per-hop telemetry appended by switches when INT is enabled (HPCC)."""
+
+    node: Any
+    qlen_bytes: int
+    tx_bytes: int       # cumulative bytes transmitted by the egress port
+    timestamp: float
+    link_rate_bps: float
+
+
+@dataclass
+class Packet:
+    """A single network packet.
+
+    ``size_bytes`` includes headers; control packets (ACK/CNP) are small.
+    ``seq`` is a byte offset within the flow for DATA, or the cumulative
+    acknowledged byte count for ACK.
+    """
+
+    flow_id: int
+    src: Any
+    dst: Any
+    size_bytes: int
+    kind: PacketKind = PacketKind.DATA
+    seq: int = 0
+    ecn: ECNCodepoint = ECNCodepoint.ECT
+    ece: bool = False                  # ECN-Echo on ACKs (DCTCP)
+    create_time: float = 0.0
+    int_records: Optional[List[INTRecord]] = None
+    # Filled in by the receiving host for latency accounting.
+    deliver_time: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+
+    @property
+    def marked(self) -> bool:
+        return self.ecn == ECNCodepoint.CE
+
+    def mark_ce(self) -> None:
+        """Set Congestion Experienced; only legal on ECT packets."""
+        if self.ecn == ECNCodepoint.NON_ECT:
+            return  # non-ECT packets cannot be marked (RED would drop)
+        self.ecn = ECNCodepoint.CE
+
+    def latency(self) -> float:
+        return self.deliver_time - self.create_time
+
+    def is_control(self) -> bool:
+        return self.kind != PacketKind.DATA
+
+
+# Conventional sizes (bytes).
+MTU = 1000
+ACK_SIZE = 64
+CNP_SIZE = 64

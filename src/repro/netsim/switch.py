@@ -1,0 +1,92 @@
+"""Output-queued switch with ECMP forwarding and per-port RED/ECN.
+
+Each switch owns a set of :class:`~repro.netsim.link.OutputPort` objects
+and a routing table mapping destination hosts to lists of candidate
+ports (equal-cost next hops).  ECMP picks among live candidates by flow
+hash, so a flow stays on one path (no reordering) but different flows
+spread across the fabric — and a failed link is routed around, which is
+what lets the Fig. 7 robustness experiment recover.
+
+The switch is also the unit the paper attaches one RL agent to: the PET
+controller reads aggregated statistics across the switch's ports and
+applies one ECN configuration to all of its queues.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.netsim.ecn import ECNConfig
+from repro.netsim.link import OutputPort
+from repro.netsim.packet import Packet
+
+__all__ = ["SwitchNode"]
+
+
+def _ecmp_hash(flow_id: int, n: int) -> int:
+    """Deterministic flow→path hash (splitmix-style avalanche)."""
+    x = (flow_id + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x % n
+
+
+class SwitchNode:
+    """A switch: forwarding plane plus the queues an agent tunes."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ports: List[OutputPort] = []
+        #: destination host name -> list of port indices (equal cost).
+        self.routes: Dict[Any, List[int]] = {}
+        self.forwarded = 0
+        self.routing_drops = 0
+
+    def add_port(self, port: OutputPort) -> int:
+        self.ports.append(port)
+        return len(self.ports) - 1
+
+    def set_route(self, dst: Any, port_indices: List[int]) -> None:
+        if not port_indices:
+            raise ValueError("route needs at least one port")
+        for i in port_indices:
+            if not 0 <= i < len(self.ports):
+                raise IndexError(f"port index {i} out of range")
+        self.routes[dst] = list(port_indices)
+
+    # -- datapath ---------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        candidates = self.routes.get(pkt.dst)
+        if not candidates:
+            self.routing_drops += 1
+            return
+        live = [i for i in candidates if self.ports[i].up]
+        if not live:
+            self.routing_drops += 1
+            return
+        port = self.ports[live[_ecmp_hash(pkt.flow_id, len(live))]]
+        self.forwarded += 1
+        port.send(pkt)
+
+    # -- agent-facing control & stats --------------------------------------
+    def set_ecn_all(self, config: ECNConfig) -> None:
+        """Apply one ECN configuration to every marking queue (ECN-CM)."""
+        for port in self.ports:
+            if port.marker is not None:
+                port.set_ecn(config)
+
+    def current_ecn(self) -> Optional[ECNConfig]:
+        for port in self.ports:
+            if port.marker is not None:
+                return port.marker.config
+        return None
+
+    def total_qlen_bytes(self) -> int:
+        return sum(p.qlen_bytes for p in self.ports)
+
+    def max_qlen_bytes(self) -> int:
+        return max((p.qlen_bytes for p in self.ports), default=0)
+
+    def aggregate_capacity_bps(self) -> float:
+        return sum(p.rate_bps for p in self.ports if p.up)

@@ -1,0 +1,27 @@
+"""End-host congestion-control transports.
+
+All three transports the paper's baselines assume are implemented:
+
+- :mod:`repro.netsim.transport.dcqcn` — DCQCN (Zhu et al., SIGCOMM'15),
+  the RDMA rate-based control used by all of the paper's experiments;
+  reacts to CNPs generated from ECN-marked packets.
+- :mod:`repro.netsim.transport.dctcp` — DCTCP window control reacting to
+  the fraction of ECE-echoed ACKs.
+- :mod:`repro.netsim.transport.hpcc` — HPCC (Li et al., SIGCOMM'19)
+  INT-based rate control.
+
+They share the go-back-N reliability and ACK machinery in
+:mod:`repro.netsim.transport.base`.
+"""
+
+from repro.netsim.transport.base import HostTransport, ReceiverState, SenderState
+from repro.netsim.transport.dcqcn import DCQCNTransport, DCQCNParams
+from repro.netsim.transport.dctcp import DCTCPTransport, DCTCPParams
+from repro.netsim.transport.hpcc import HPCCTransport, HPCCParams
+
+__all__ = [
+    "HostTransport", "ReceiverState", "SenderState",
+    "DCQCNTransport", "DCQCNParams",
+    "DCTCPTransport", "DCTCPParams",
+    "HPCCTransport", "HPCCParams",
+]

@@ -1,0 +1,269 @@
+"""Shared transport machinery: reliability, ACKs, and flow lifecycle.
+
+Paths are pinned per flow (ECMP hashes the flow id), and queues are
+FIFO, so data arrives in order; reliability therefore reduces to
+go-back-N on a cumulative byte offset:
+
+- the receiver tracks ``expected`` (next in-order byte); in-order data
+  advances it, out-of-order data triggers a duplicate ACK,
+- cumulative ACKs are sent every ``ack_every`` data packets and at flow
+  completion,
+- the sender resumes from ``snd_una`` when an RTO elapses without
+  progress.
+
+Concrete transports subclass :class:`HostTransport` and override the
+rate/window hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.netsim.flow import Flow
+from repro.netsim.packet import ACK_SIZE, MTU, ECNCodepoint, Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.engine import Event, Simulator
+    from repro.netsim.host import HostNode
+
+__all__ = ["SenderState", "ReceiverState", "HostTransport"]
+
+
+@dataclass
+class SenderState:
+    """Per-flow sender bookkeeping common to all transports."""
+
+    flow: Flow
+    snd_nxt: int = 0          # next byte offset to send
+    snd_una: int = 0          # highest cumulatively acked byte
+    done: bool = False
+    pacing_event: Optional["Event"] = None
+    rto_event: Optional["Event"] = None
+    retransmissions: int = 0
+    rto_backoff: int = 1          # exponential backoff multiplier
+    extra: dict = field(default_factory=dict)   # transport-specific state
+
+    def cancel_events(self) -> None:
+        for ev in (self.pacing_event, self.rto_event):
+            if ev is not None:
+                ev.cancel()
+        self.pacing_event = None
+        self.rto_event = None
+
+
+@dataclass
+class ReceiverState:
+    """Per-flow receiver bookkeeping."""
+
+    flow_id: int
+    size_bytes: int
+    src: str                  # the sender, where ACKs/CNPs go back to
+    expected: int = 0         # next in-order byte offset
+    pkts_since_ack: int = 0
+    completed: bool = False
+    marked_pkts: int = 0
+    total_pkts: int = 0
+
+
+class HostTransport:
+    """Base transport bound to one host.
+
+    Subclasses implement :meth:`_initial_rate_state`, :meth:`_pacing_delay`
+    (rate-based) or :meth:`_can_send` (window-based), and the congestion
+    reaction hooks.
+    """
+
+    #: default packet payload size
+    mtu: int = MTU
+    #: cumulative-ACK frequency in data packets
+    ack_every: int = 8
+    #: retransmission timeout (seconds); generous vs. the base RTT
+    rto: float = 2e-3
+
+    def __init__(self, sim: "Simulator", host: "HostNode",
+                 on_flow_complete: Optional[Callable[[Flow, float], None]] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.on_flow_complete = on_flow_complete
+        self.senders: Dict[int, SenderState] = {}
+        self.receivers: Dict[int, ReceiverState] = {}
+
+    # ------------------------------------------------------------------ API
+    def start_flow(self, flow: Flow) -> None:
+        """Begin transmitting a flow originating at this host."""
+        if flow.src != self.host.name:
+            raise ValueError(f"flow {flow.flow_id} does not originate at {self.host.name}")
+        if flow.flow_id in self.senders:
+            raise ValueError(f"duplicate flow id {flow.flow_id}")
+        st = SenderState(flow=flow)
+        self.senders[flow.flow_id] = st
+        self._init_sender(st)
+        self._arm_rto(st)
+        self._try_send(st)
+
+    def on_receive(self, pkt: Packet) -> None:
+        """Dispatch a packet terminated at this host."""
+        if pkt.kind == PacketKind.DATA:
+            self._handle_data(pkt)
+        elif pkt.kind == PacketKind.ACK:
+            self._handle_ack(pkt)
+        elif pkt.kind == PacketKind.CNP:
+            self._handle_cnp(pkt)
+
+    def active_flows(self) -> int:
+        return sum(1 for s in self.senders.values() if not s.done)
+
+    # ------------------------------------------------------ sender side
+    def _init_sender(self, st: SenderState) -> None:
+        """Hook: initialize transport-specific rate/window state."""
+
+    def _pacing_delay(self, st: SenderState, pkt_bytes: int) -> Optional[float]:
+        """Hook (rate-based): seconds until the next packet may leave,
+        or None for window-based transports (ACK-clocked)."""
+        return None
+
+    def _can_send(self, st: SenderState) -> bool:
+        """Hook (window-based): may another packet enter the network?"""
+        return True
+
+    def _on_data_sent(self, st: SenderState, pkt: Packet) -> None:
+        """Hook: called after each data packet is injected."""
+
+    def _on_ack(self, st: SenderState, pkt: Packet) -> None:
+        """Hook: congestion reaction to a (possibly ECE-carrying) ACK."""
+
+    def _on_cnp(self, st: SenderState, pkt: Packet) -> None:
+        """Hook: congestion reaction to a CNP (DCQCN)."""
+
+    def _make_data_packet(self, st: SenderState, offset: int, size: int) -> Packet:
+        return Packet(flow_id=st.flow.flow_id, src=self.host.name,
+                      dst=st.flow.dst, size_bytes=size, kind=PacketKind.DATA,
+                      seq=offset, ecn=ECNCodepoint.ECT, create_time=self.sim.now)
+
+    def _try_send(self, st: SenderState) -> None:
+        """Send as many packets as rate/window permits, re-arming pacing."""
+        if st.done:
+            return
+        while st.snd_nxt < st.flow.size_bytes and self._can_send(st):
+            size = min(self.mtu, st.flow.size_bytes - st.snd_nxt)
+            pkt = self._make_data_packet(st, st.snd_nxt, size)
+            st.snd_nxt += size
+            st.flow.bytes_sent = max(st.flow.bytes_sent, st.snd_nxt)
+            self.host.send(pkt)
+            self._on_data_sent(st, pkt)
+            delay = self._pacing_delay(st, size)
+            if delay is not None:
+                # Rate-based: exactly one packet per pacing tick.
+                if st.pacing_event is not None:
+                    st.pacing_event.cancel()
+                st.pacing_event = self.sim.schedule(delay, self._pacing_tick,
+                                                    st.flow.flow_id)
+                return
+
+    def _pacing_tick(self, flow_id: int) -> None:
+        st = self.senders.get(flow_id)
+        if st is None or st.done:
+            return
+        st.pacing_event = None
+        self._try_send(st)
+
+    #: cap on the exponential RTO backoff (multiplier, power of two)
+    max_rto_backoff: int = 64
+
+    def _arm_rto(self, st: SenderState) -> None:
+        if st.rto_event is not None:
+            st.rto_event.cancel()
+        st.rto_event = self.sim.schedule(self.rto * st.rto_backoff,
+                                         self._rto_fired,
+                                         st.flow.flow_id, st.snd_una)
+
+    def _rto_fired(self, flow_id: int, una_at_arm: int) -> None:
+        st = self.senders.get(flow_id)
+        if st is None or st.done:
+            return
+        st.rto_event = None
+        if st.snd_una == una_at_arm and st.snd_una < st.flow.size_bytes:
+            # No progress since arming: go-back-N from the last acked
+            # byte, with exponential backoff so a long stall (e.g. a PFC
+            # pause) doesn't livelock the network with retransmissions.
+            if st.snd_nxt > st.snd_una:
+                st.retransmissions += 1
+            st.snd_nxt = st.snd_una
+            st.rto_backoff = min(st.rto_backoff * 2, self.max_rto_backoff)
+            self._try_send(st)
+        self._arm_rto(st)
+
+    def _handle_ack(self, pkt: Packet) -> None:
+        st = self.senders.get(pkt.flow_id)
+        if st is None or st.done:
+            return
+        if pkt.seq > st.snd_una:
+            st.snd_una = pkt.seq
+            st.flow.bytes_acked = st.snd_una
+            st.rto_backoff = 1          # progress clears the backoff
+            self._arm_rto(st)
+        self._on_ack(st, pkt)
+        if st.snd_una >= st.flow.size_bytes:
+            st.done = True
+            st.cancel_events()
+            return
+        self._try_send(st)
+
+    def _handle_cnp(self, pkt: Packet) -> None:
+        st = self.senders.get(pkt.flow_id)
+        if st is None or st.done:
+            return
+        self._on_cnp(st, pkt)
+
+    # ------------------------------------------------------ receiver side
+    def _receiver_for(self, pkt: Packet) -> ReceiverState:
+        rx = self.receivers.get(pkt.flow_id)
+        if rx is None:
+            rx = ReceiverState(flow_id=pkt.flow_id, size_bytes=0, src=pkt.src)
+            self.receivers[pkt.flow_id] = rx
+        return rx
+
+    def _handle_data(self, pkt: Packet) -> None:
+        rx = self._receiver_for(pkt)
+        rx.total_pkts += 1
+        if pkt.marked:
+            rx.marked_pkts += 1
+        self._receiver_congestion_feedback(rx, pkt)
+        in_order = pkt.seq == rx.expected
+        if in_order:
+            rx.expected += pkt.size_bytes
+            rx.pkts_since_ack += 1
+        # Completion is signalled by the sender putting the flow size in
+        # every packet's metadata implicitly: the last byte's offset+size.
+        # The network facade registered the flow; look its size up lazily.
+        if rx.size_bytes == 0:
+            rx.size_bytes = self._flow_size_lookup(pkt.flow_id)
+        finished = rx.size_bytes > 0 and rx.expected >= rx.size_bytes
+        if finished and not rx.completed:
+            rx.completed = True
+            self._flow_completed_at_receiver(pkt.flow_id, self.sim.now)
+        if not in_order or finished or rx.pkts_since_ack >= self.ack_every:
+            self._send_ack(rx, pkt)
+            rx.pkts_since_ack = 0
+
+    def _receiver_congestion_feedback(self, rx: ReceiverState, pkt: Packet) -> None:
+        """Hook: e.g. DCQCN CNP generation on marked packets."""
+
+    def _send_ack(self, rx: ReceiverState, data_pkt: Packet) -> None:
+        ack = Packet(flow_id=rx.flow_id, src=self.host.name, dst=rx.src,
+                     size_bytes=ACK_SIZE, kind=PacketKind.ACK, seq=rx.expected,
+                     ecn=ECNCodepoint.NON_ECT, create_time=self.sim.now,
+                     ece=data_pkt.marked,
+                     int_records=(list(data_pkt.int_records)
+                                  if data_pkt.int_records is not None else None))
+        self.host.send(ack)
+
+    # ------------------------------------------------------ registry hooks
+    #: installed by the network facade
+    _flow_size_lookup: Callable[[int], int] = staticmethod(lambda flow_id: 0)
+    _flow_completed_cb: Optional[Callable[[int, float], None]] = None
+
+    def _flow_completed_at_receiver(self, flow_id: int, t: float) -> None:
+        if self._flow_completed_cb is not None:
+            self._flow_completed_cb(flow_id, t)

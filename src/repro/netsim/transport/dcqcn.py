@@ -1,0 +1,162 @@
+"""DCQCN — rate-based RDMA congestion control (Zhu et al., SIGCOMM 2015).
+
+This is the transport all of the paper's experiments run over; the ECN
+thresholds PET tunes are the (Kmin, Kmax, Pmax) of the RED marker that
+feeds DCQCN's congestion signal.
+
+Reaction point (sender), per flow:
+
+- on CNP:  ``alpha <- (1-g)*alpha + g``; ``Rt <- Rc``;
+  ``Rc <- Rc * (1 - alpha/2)``; rate-increase state resets.
+- alpha timer: without CNPs for ``alpha_timer`` seconds,
+  ``alpha <- (1-g)*alpha``.
+- rate-increase timer every ``rate_inc_timer`` seconds:
+  first ``fast_recovery_stages`` events do fast recovery
+  ``Rc <- (Rt + Rc)/2``; then additive increase ``Rt += Rai``; beyond
+  ``hyper_stage_after`` further events, hyper increase ``Rt += i*Rhai``.
+
+Notification point (receiver): at most one CNP per ``cnp_interval`` per
+flow when ECN-marked (CE) data arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.netsim.packet import CNP_SIZE, ECNCodepoint, Packet, PacketKind
+from repro.netsim.transport.base import HostTransport, ReceiverState, SenderState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.engine import Event
+
+__all__ = ["DCQCNParams", "DCQCNTransport"]
+
+
+@dataclass
+class DCQCNParams:
+    """DCQCN constants; defaults scaled for the repo's scaled-down fabric."""
+
+    g: float = 1.0 / 256.0
+    cnp_interval: float = 50e-6
+    alpha_timer: float = 55e-6
+    rate_inc_timer: float = 300e-6
+    fast_recovery_stages: int = 5
+    #: additive increase step as a fraction of line rate
+    rai_fraction: float = 0.005
+    #: hyper increase step as a fraction of line rate
+    rhai_fraction: float = 0.05
+    min_rate_fraction: float = 0.001
+
+
+class _FlowCC:
+    """Per-flow DCQCN reaction-point state."""
+
+    __slots__ = ("rc", "rt", "alpha", "stage", "alpha_event", "inc_event",
+                 "cnp_seen_since_alpha")
+
+    def __init__(self, line_rate: float) -> None:
+        self.rc = line_rate       # current rate, bps
+        self.rt = line_rate       # target rate, bps
+        self.alpha = 1.0
+        self.stage = 0            # increase events since last cut
+        self.alpha_event: Optional["Event"] = None
+        self.inc_event: Optional["Event"] = None
+        self.cnp_seen_since_alpha = False
+
+
+class DCQCNTransport(HostTransport):
+    """DCQCN sender/receiver logic on top of the go-back-N base."""
+
+    def __init__(self, sim, host, on_flow_complete=None,
+                 params: Optional[DCQCNParams] = None) -> None:
+        super().__init__(sim, host, on_flow_complete)
+        self.params = params or DCQCNParams()
+        self._last_cnp_time: dict = {}   # flow_id -> last CNP send time
+
+    # ------------------------------------------------------------- sender
+    def _init_sender(self, st: SenderState) -> None:
+        line = self.host.link_rate_bps
+        cc = _FlowCC(line)
+        st.extra["cc"] = cc
+        self._arm_alpha_timer(st)
+        self._arm_inc_timer(st)
+
+    def _pacing_delay(self, st: SenderState, pkt_bytes: int) -> Optional[float]:
+        cc: _FlowCC = st.extra["cc"]
+        rate = max(cc.rc, self.params.min_rate_fraction * self.host.link_rate_bps)
+        return pkt_bytes * 8.0 / rate
+
+    def _on_cnp(self, st: SenderState, pkt: Packet) -> None:
+        cc: _FlowCC = st.extra["cc"]
+        p = self.params
+        cc.alpha = (1.0 - p.g) * cc.alpha + p.g
+        cc.cnp_seen_since_alpha = True
+        cc.rt = cc.rc
+        cc.rc = cc.rc * (1.0 - cc.alpha / 2.0)
+        floor = p.min_rate_fraction * self.host.link_rate_bps
+        cc.rc = max(cc.rc, floor)
+        cc.stage = 0
+
+    def _arm_alpha_timer(self, st: SenderState) -> None:
+        cc: _FlowCC = st.extra["cc"]
+        if cc.alpha_event is not None:
+            cc.alpha_event.cancel()
+        cc.alpha_event = self.sim.schedule(self.params.alpha_timer,
+                                           self._alpha_tick, st.flow.flow_id)
+
+    def _alpha_tick(self, flow_id: int) -> None:
+        st = self.senders.get(flow_id)
+        if st is None or st.done:
+            return
+        cc: _FlowCC = st.extra["cc"]
+        if not cc.cnp_seen_since_alpha:
+            cc.alpha = (1.0 - self.params.g) * cc.alpha
+        cc.cnp_seen_since_alpha = False
+        self._arm_alpha_timer(st)
+
+    def _arm_inc_timer(self, st: SenderState) -> None:
+        cc: _FlowCC = st.extra["cc"]
+        if cc.inc_event is not None:
+            cc.inc_event.cancel()
+        cc.inc_event = self.sim.schedule(self.params.rate_inc_timer,
+                                         self._inc_tick, st.flow.flow_id)
+
+    def _inc_tick(self, flow_id: int) -> None:
+        st = self.senders.get(flow_id)
+        if st is None or st.done:
+            return
+        cc: _FlowCC = st.extra["cc"]
+        p = self.params
+        line = self.host.link_rate_bps
+        cc.stage += 1
+        if cc.stage > p.fast_recovery_stages:
+            extra = cc.stage - p.fast_recovery_stages
+            if extra <= p.fast_recovery_stages:
+                cc.rt = min(cc.rt + p.rai_fraction * line, line)       # additive
+            else:
+                i = extra - p.fast_recovery_stages
+                cc.rt = min(cc.rt + i * p.rhai_fraction * line, line)  # hyper
+        cc.rc = min((cc.rt + cc.rc) / 2.0, line)                       # fast recovery
+        self._arm_inc_timer(st)
+
+    def current_rate(self, flow_id: int) -> Optional[float]:
+        """Current sending rate in bps (None for unknown flows)."""
+        st = self.senders.get(flow_id)
+        if st is None:
+            return None
+        return st.extra["cc"].rc
+
+    # ------------------------------------------------------------ receiver
+    def _receiver_congestion_feedback(self, rx: ReceiverState, pkt: Packet) -> None:
+        if not pkt.marked:
+            return
+        now = self.sim.now
+        last = self._last_cnp_time.get(rx.flow_id, -1e9)
+        if now - last < self.params.cnp_interval:
+            return
+        self._last_cnp_time[rx.flow_id] = now
+        cnp = Packet(flow_id=rx.flow_id, src=self.host.name, dst=rx.src,
+                     size_bytes=CNP_SIZE, kind=PacketKind.CNP,
+                     ecn=ECNCodepoint.NON_ECT, create_time=now)
+        self.host.send(cnp)

@@ -1,0 +1,94 @@
+"""DCTCP — window-based ECN-fraction congestion control (SIGCOMM 2010).
+
+Sender keeps an estimate ``alpha`` of the fraction of marked packets::
+
+    alpha <- (1 - g) * alpha + g * F     once per window (RTT),
+
+where F is the fraction of ACKs carrying ECE in the last window, and on
+congestion cuts ``cwnd <- cwnd * (1 - alpha/2)`` at most once per
+window.  ACK clocking: a packet may enter the network while
+``inflight < cwnd``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.packet import Packet
+from repro.netsim.transport.base import HostTransport, SenderState
+
+__all__ = ["DCTCPParams", "DCTCPTransport"]
+
+
+@dataclass
+class DCTCPParams:
+    g: float = 1.0 / 16.0
+    init_cwnd_pkts: int = 10
+    min_cwnd_bytes: int = 1000     # one MTU
+    #: additive increase per window, in MTUs
+    ai_pkts: float = 1.0
+
+
+class _WindowCC:
+    __slots__ = ("cwnd", "alpha", "acked_in_window", "marked_in_window",
+                 "window_end", "cut_this_window")
+
+    def __init__(self, cwnd: int) -> None:
+        self.cwnd = float(cwnd)
+        self.alpha = 0.0
+        self.acked_in_window = 0
+        self.marked_in_window = 0
+        self.window_end = 0          # byte offset closing the current window
+        self.cut_this_window = False
+
+
+class DCTCPTransport(HostTransport):
+    """DCTCP on top of the shared go-back-N/ACK base."""
+
+    #: per-packet ACKs give DCTCP its fine-grained F estimate
+    ack_every = 1
+
+    def __init__(self, sim, host, on_flow_complete=None,
+                 params: Optional[DCTCPParams] = None) -> None:
+        super().__init__(sim, host, on_flow_complete)
+        self.params = params or DCTCPParams()
+
+    def _init_sender(self, st: SenderState) -> None:
+        cc = _WindowCC(self.params.init_cwnd_pkts * self.mtu)
+        cc.window_end = int(cc.cwnd)
+        st.extra["cc"] = cc
+
+    def _can_send(self, st: SenderState) -> bool:
+        cc: _WindowCC = st.extra["cc"]
+        inflight = st.snd_nxt - st.snd_una
+        return inflight + self.mtu <= cc.cwnd or inflight == 0
+
+    def _on_ack(self, st: SenderState, pkt: Packet) -> None:
+        cc: _WindowCC = st.extra["cc"]
+        p = self.params
+        cc.acked_in_window += 1
+        if pkt.ece:
+            cc.marked_in_window += 1
+            if not cc.cut_this_window:
+                # One multiplicative cut per window, by the current alpha.
+                cc.cwnd = max(cc.cwnd * (1.0 - cc.alpha / 2.0), p.min_cwnd_bytes)
+                cc.cut_this_window = True
+        if st.snd_una >= cc.window_end:
+            # Window boundary: fold the observed mark fraction into alpha,
+            # additive-increase, and open the next window.
+            f = (cc.marked_in_window / cc.acked_in_window
+                 if cc.acked_in_window else 0.0)
+            cc.alpha = (1.0 - p.g) * cc.alpha + p.g * f
+            if not cc.cut_this_window:
+                cc.cwnd += p.ai_pkts * self.mtu
+            cc.acked_in_window = 0
+            cc.marked_in_window = 0
+            cc.cut_this_window = False
+            cc.window_end = st.snd_una + max(int(cc.cwnd), p.min_cwnd_bytes)
+
+    def current_cwnd(self, flow_id: int) -> Optional[float]:
+        st = self.senders.get(flow_id)
+        if st is None:
+            return None
+        return st.extra["cc"].cwnd

@@ -1,0 +1,117 @@
+"""HPCC — INT-based high-precision congestion control (SIGCOMM 2019).
+
+Data packets carry inline network telemetry (per-hop queue length,
+cumulative tx bytes, timestamp, link rate); the receiver echoes the
+records on ACKs, and the sender computes each hop's normalized utilization
+
+    U_j = qlen / (B_j * T) + txRate_j / B_j
+
+using the *difference* between consecutive INT snapshots for txRate.
+The window update follows the reference algorithm: multiplicative
+scaling toward ``eta`` plus an additive ``W_ai``, applied per ACK with a
+once-per-RTT reference-window refresh.
+
+(The paper uses HPCC only as the source of the SECN2 static ECN
+configuration, but the transport is implemented in full so the library
+covers all three CC families.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.netsim.packet import INTRecord, Packet
+from repro.netsim.transport.base import HostTransport, SenderState
+
+__all__ = ["HPCCParams", "HPCCTransport"]
+
+
+@dataclass
+class HPCCParams:
+    eta: float = 0.95           # target utilization
+    max_stage: int = 5          # fast-increase stages
+    #: additive increase per ACK as a fraction of BDP
+    wai_fraction: float = 0.01
+    #: assumed base RTT used to convert window <-> rate
+    base_rtt: float = 100e-6
+    min_window_pkts: int = 1
+
+
+class _HpccCC:
+    __slots__ = ("w", "w_ref", "stage", "last_update_seq", "prev_int")
+
+    def __init__(self, w: float) -> None:
+        self.w = w                 # current window, bytes
+        self.w_ref = w             # reference window
+        self.stage = 0
+        self.last_update_seq = 0   # for the once-per-RTT W_ref refresh
+        self.prev_int: Dict[object, INTRecord] = {}
+
+
+class HPCCTransport(HostTransport):
+    """HPCC sender on top of the shared base; needs INT-enabled switches."""
+
+    ack_every = 1
+
+    def __init__(self, sim, host, on_flow_complete=None,
+                 params: Optional[HPCCParams] = None) -> None:
+        super().__init__(sim, host, on_flow_complete)
+        self.params = params or HPCCParams()
+
+    def _init_sender(self, st: SenderState) -> None:
+        bdp = self.host.link_rate_bps / 8.0 * self.params.base_rtt
+        st.extra["cc"] = _HpccCC(max(bdp, self.mtu))
+
+    def _make_data_packet(self, st: SenderState, offset: int, size: int) -> Packet:
+        pkt = super()._make_data_packet(st, offset, size)
+        pkt.int_records = []            # request telemetry
+        return pkt
+
+    def _can_send(self, st: SenderState) -> bool:
+        cc: _HpccCC = st.extra["cc"]
+        inflight = st.snd_nxt - st.snd_una
+        return inflight + self.mtu <= cc.w or inflight == 0
+
+    def _on_ack(self, st: SenderState, pkt: Packet) -> None:
+        if not pkt.int_records:
+            return
+        cc: _HpccCC = st.extra["cc"]
+        p = self.params
+        u_max = 0.0
+        for rec in pkt.int_records:
+            prev = cc.prev_int.get(rec.node)
+            cc.prev_int[rec.node] = rec
+            if prev is None or rec.timestamp <= prev.timestamp:
+                continue
+            dt = rec.timestamp - prev.timestamp
+            tx_rate = (rec.tx_bytes - prev.tx_bytes) * 8.0 / dt
+            b = rec.link_rate_bps
+            u = rec.qlen_bytes * 8.0 / (b * p.base_rtt) + tx_rate / b
+            u_max = max(u_max, u)
+        if u_max <= 0.0:
+            return
+        bdp = self.host.link_rate_bps / 8.0 * p.base_rtt
+        wai = p.wai_fraction * bdp
+        if u_max >= p.eta or cc.stage >= p.max_stage:
+            cc.w = cc.w_ref / (u_max / p.eta) + wai
+            if st.snd_una >= cc.last_update_seq:
+                # once per RTT: commit the reference window
+                cc.w_ref = cc.w
+                cc.last_update_seq = st.snd_nxt
+                cc.stage = 0
+        else:
+            cc.w = cc.w_ref + wai
+            if st.snd_una >= cc.last_update_seq:
+                cc.w_ref = cc.w
+                cc.last_update_seq = st.snd_nxt
+                cc.stage += 1
+        floor = p.min_window_pkts * self.mtu
+        line_cap = self.host.link_rate_bps / 8.0 * p.base_rtt * 2.0
+        cc.w = min(max(cc.w, floor), max(line_cap, floor))
+
+    def current_window(self, flow_id: int) -> Optional[float]:
+        st = self.senders.get(flow_id)
+        if st is None:
+            return None
+        return st.extra["cc"].w

@@ -1,0 +1,69 @@
+"""Checkpoint (de)serialization to ``.npz`` files.
+
+The paper's deployment story (§4.4) moves a pre-trained model from the
+offline trainer onto switches; this module gives that hand-off a wire
+format.  State dicts in this repo are arbitrarily nested
+``{str: dict | ndarray}`` structures (per-switch → actor/critic →
+layer params); they are flattened to slash-separated keys for ``.npz``
+and reassembled on load.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+__all__ = ["flatten_state", "unflatten_state", "save_checkpoint",
+           "load_checkpoint"]
+
+Nested = Dict[str, Union[np.ndarray, "Nested"]]
+
+_SEP = "/"
+
+
+def flatten_state(state: Nested, prefix: str = "") -> Dict[str, np.ndarray]:
+    """Flatten nested dicts of arrays into slash-joined keys."""
+    out: Dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        if _SEP in str(key):
+            raise ValueError(f"key {key!r} may not contain {_SEP!r}")
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten_state(value, prefix=path + _SEP))
+        else:
+            out[path] = np.asarray(value)
+    return out
+
+
+def unflatten_state(flat: Dict[str, np.ndarray]) -> Nested:
+    """Inverse of :func:`flatten_state`."""
+    out: Nested = {}
+    for path, value in flat.items():
+        parts = path.split(_SEP)
+        node = out
+        for part in parts[:-1]:
+            nxt = node.setdefault(part, {})
+            if not isinstance(nxt, dict):
+                raise ValueError(f"path conflict at {path!r}")
+            node = nxt
+        node[parts[-1]] = value
+    return out
+
+
+def save_checkpoint(path: str, state: Nested) -> None:
+    """Write a (nested) state dict to an ``.npz`` file."""
+    flat = flatten_state(state)
+    if not flat:
+        raise ValueError("refusing to save an empty checkpoint")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **flat)
+
+
+def load_checkpoint(path: str) -> Nested:
+    """Read a state dict written by :func:`save_checkpoint`."""
+    with np.load(path) as data:
+        flat = {k: data[k] for k in data.files}
+    return unflatten_state(flat)

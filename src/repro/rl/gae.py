@@ -1,0 +1,74 @@
+"""Generalized Advantage Estimation (paper Eq. 9–10).
+
+Given per-step rewards ``r_t``, value predictions ``V(s_t)`` and the
+bootstrap value of the final state, GAE computes::
+
+    delta_t = r_t + gamma * V(s_{t+1}) - V(s_t)              (Eq. 10)
+    A_t     = delta_t + (gamma*lambda) * delta_{t+1} + ...   (Eq. 9)
+
+Episode truncation is handled through ``dones``: a terminal step does not
+bootstrap from the next state.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["compute_gae", "discounted_returns"]
+
+
+def compute_gae(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
+                last_value: float, gamma: float, lam: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute GAE advantages and bootstrapped returns.
+
+    Parameters
+    ----------
+    rewards, values, dones:
+        Arrays of equal length T; ``values[t] = V(s_t)``, ``dones[t]`` is
+        True when ``s_{t+1}`` starts a new episode.
+    last_value:
+        ``V(s_T)``, the bootstrap value of the state after the rollout.
+    gamma, lam:
+        Discount factor and the GAE lambda.
+
+    Returns
+    -------
+    advantages, returns:
+        ``returns = advantages + values`` (the regression target R-hat of
+        paper Eq. 12).
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    dones = np.asarray(dones, dtype=bool)
+    if not (len(rewards) == len(values) == len(dones)):
+        raise ValueError("rewards, values, dones must have equal length")
+    T = len(rewards)
+    adv = np.zeros(T)
+    gae = 0.0
+    next_value = float(last_value)
+    for t in range(T - 1, -1, -1):
+        nonterminal = 0.0 if dones[t] else 1.0
+        delta = rewards[t] + gamma * next_value * nonterminal - values[t]
+        gae = delta + gamma * lam * nonterminal * gae
+        adv[t] = gae
+        next_value = values[t]
+    returns = adv + values
+    return adv, returns
+
+
+def discounted_returns(rewards: np.ndarray, dones: np.ndarray, last_value: float,
+                       gamma: float) -> np.ndarray:
+    """Plain rewards-to-go with bootstrap (Algorithm 1, line 6)."""
+    rewards = np.asarray(rewards, dtype=np.float64)
+    dones = np.asarray(dones, dtype=bool)
+    T = len(rewards)
+    out = np.zeros(T)
+    running = float(last_value)
+    for t in range(T - 1, -1, -1):
+        if dones[t]:
+            running = 0.0
+        running = rewards[t] + gamma * running
+        out[t] = running
+    return out

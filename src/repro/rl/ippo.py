@@ -1,0 +1,102 @@
+"""Independent PPO (IPPO) — the multi-agent learner PET builds on.
+
+IPPO (Schroeder de Witt et al., 2020) runs one fully independent PPO
+learner per agent: each learns from its own local observations, keeps its
+own critic, and never exchanges experience or parameters with other
+agents.  That is exactly the Decentralized Training / Decentralized
+Execution (DTDE) paradigm the paper adopts: zero inter-switch
+communication and no global experience replay (contrast with ACC's DDQN
+in :mod:`repro.rl.ddqn`).
+
+:class:`IPPOTrainer` is a thin orchestration convenience: it holds the
+per-agent learners, routes per-agent observations/rewards, and triggers
+per-agent updates.  Nothing in it mixes data across agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Hashable, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.rl.ppo import PPOAgent, PPOConfig
+
+__all__ = ["IPPOTrainer"]
+
+
+class IPPOTrainer:
+    """A set of independent PPO learners keyed by agent id.
+
+    Parameters
+    ----------
+    agent_ids:
+        Hashable identifiers, one per switch/agent.
+    config:
+        Shared hyperparameters; each agent gets its own networks seeded
+        from ``config.seed`` + its index, so runs are reproducible but the
+        agents are not parameter-tied.
+    """
+
+    def __init__(self, agent_ids: Iterable[Hashable], config: PPOConfig) -> None:
+        ids = list(agent_ids)
+        if not ids:
+            raise ValueError("IPPOTrainer needs at least one agent")
+        if len(set(ids)) != len(ids):
+            raise ValueError("agent ids must be unique")
+        self.config = config
+        self.agents: Dict[Hashable, PPOAgent] = {}
+        for i, aid in enumerate(ids):
+            seed = None if config.seed is None else config.seed + i
+            self.agents[aid] = PPOAgent(replace(config, seed=seed))
+
+    @property
+    def agent_ids(self):
+        return list(self.agents.keys())
+
+    def act(self, observations: Mapping[Hashable, np.ndarray], *,
+            epsilon: float = 0.0, greedy: bool = False) -> Dict[Hashable, Dict[str, float]]:
+        """Per-agent action selection from per-agent local observations."""
+        out = {}
+        for aid, obs in observations.items():
+            out[aid] = self.agents[aid].act(obs, epsilon=epsilon, greedy=greedy)
+        return out
+
+    def record(self, observations: Mapping[Hashable, np.ndarray],
+               decisions: Mapping[Hashable, Mapping[str, float]],
+               rewards: Mapping[Hashable, float],
+               dones: Mapping[Hashable, bool]) -> None:
+        """Store one transition per agent (local experience only)."""
+        for aid, obs in observations.items():
+            d = decisions[aid]
+            self.agents[aid].record(obs, int(d["action"]), rewards[aid],
+                                    bool(dones[aid]), d["log_prob"], d["value"])
+
+    def update(self, last_observations: Optional[Mapping[Hashable, np.ndarray]] = None
+               ) -> Dict[Hashable, Dict[str, float]]:
+        """Run one PPO update per agent on its own buffer."""
+        stats = {}
+        for aid, agent in self.agents.items():
+            last_obs = None
+            if last_observations is not None:
+                last_obs = last_observations.get(aid)
+            stats[aid] = agent.update(last_obs)
+        return stats
+
+    # -- checkpointing (offline pre-training -> online deployment) ---------
+    def state_dict(self) -> Dict[Hashable, Dict]:
+        return {aid: agent.state_dict() for aid, agent in self.agents.items()}
+
+    def load_state_dict(self, state: Mapping[Hashable, Dict]) -> None:
+        for aid, s in state.items():
+            self.agents[aid].load_state_dict(s)
+
+    def broadcast_parameters(self, source_state: Dict) -> None:
+        """Install one pre-trained model on every agent.
+
+        Mirrors the paper's deployment flow: a single offline pre-trained
+        initial model is installed on all switches, which then diverge via
+        online local incremental training (§4.4).
+        """
+        for agent in self.agents.values():
+            agent.load_state_dict(source_state)

@@ -1,0 +1,94 @@
+"""First-order optimizers operating on named parameter/gradient dicts.
+
+The optimizers bind to a :class:`repro.rl.nn.Module` at construction and
+read its current gradients at each :meth:`step`.  The paper trains the
+actor and critic with Adam at learning rates 4e-4 and 1e-3 respectively
+(paper §5.2), which are the defaults used by :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.rl.nn import Module
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer bound to one module."""
+
+    def __init__(self, module: Module, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.module = module
+        self.lr = lr
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        self.module.zero_grad()
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, module: Module, lr: float, momentum: float = 0.0) -> None:
+        super().__init__(module, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {
+            k: np.zeros_like(v) for k, v in module.parameters().items()
+        }
+
+    def step(self) -> None:
+        params = self.module.parameters()
+        grads = self.module.gradients()
+        for k, p in params.items():
+            v = self._velocity[k]
+            v *= self.momentum
+            v -= self.lr * grads[k]
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction.
+
+    Matches the PyTorch defaults (beta1=0.9, beta2=0.999, eps=1e-8) the
+    paper's implementation would have used.
+    """
+
+    def __init__(self, module: Module, lr: float, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        super().__init__(module, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: Dict[str, np.ndarray] = {
+            k: np.zeros_like(v) for k, v in module.parameters().items()
+        }
+        self._v: Dict[str, np.ndarray] = {
+            k: np.zeros_like(v) for k, v in module.parameters().items()
+        }
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        params = self.module.parameters()
+        grads = self.module.gradients()
+        b1t = 1.0 - self.beta1 ** self._t
+        b2t = 1.0 - self.beta2 ** self._t
+        for k, p in params.items():
+            g = grads[k]
+            m, v = self._m[k], self._v[k]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / b1t
+            v_hat = v / b2t
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

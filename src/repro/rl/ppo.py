@@ -1,0 +1,215 @@
+"""Single-agent PPO with the clipped surrogate objective.
+
+This is the learner each PET switch runs independently.  The policy loss
+is the paper's Eq. 11::
+
+    L_pi(theta) = E[ min( ratio * A,  clip(ratio, 1-eps, 1+eps) * A ) ]
+
+(maximized; we descend its negation) and the value loss is Eq. 12::
+
+    L_v(omega) = E[ (V_omega(s) - R_hat)^2 ]
+
+Gradients are computed analytically at the logits/value head and
+backpropagated through the NumPy MLPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.rl.gae import compute_gae
+from repro.rl.nn import MLP, clip_gradients
+from repro.rl.optim import Adam
+from repro.rl.policy import CategoricalPolicy, softmax
+
+__all__ = ["PPOConfig", "RolloutBuffer", "PPOAgent"]
+
+
+@dataclass
+class PPOConfig:
+    """Hyperparameters; defaults follow paper §5.2."""
+
+    obs_dim: int = 6
+    n_actions: int = 10
+    hidden: tuple = (64, 64)
+    actor_lr: float = 4e-4       # paper: actor 0.0004
+    critic_lr: float = 1e-3      # paper: critic 0.001
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_eps: float = 0.2        # paper: 0.2
+    entropy_coef: float = 0.01   # paper: GAE variance/bias coefficient 0.01
+    epochs: int = 4              # SGD epochs per update (Algorithm 1: N)
+    minibatch_size: int = 64
+    max_grad_norm: float = 0.5
+    normalize_advantages: bool = True
+    seed: Optional[int] = None
+
+
+@dataclass
+class RolloutBuffer:
+    """On-policy trajectory storage for one agent between updates."""
+
+    obs: List[np.ndarray] = field(default_factory=list)
+    actions: List[int] = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+    dones: List[bool] = field(default_factory=list)
+    log_probs: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, obs: np.ndarray, action: int, reward: float, done: bool,
+            log_prob: float, value: float) -> None:
+        self.obs.append(np.asarray(obs, dtype=np.float64).ravel())
+        self.actions.append(int(action))
+        self.rewards.append(float(reward))
+        self.dones.append(bool(done))
+        self.log_probs.append(float(log_prob))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.obs)
+
+    def clear(self) -> None:
+        for lst in (self.obs, self.actions, self.rewards, self.dones,
+                    self.log_probs, self.values):
+            lst.clear()
+
+
+class PPOAgent:
+    """Actor-critic PPO learner with separate actor/critic networks."""
+
+    def __init__(self, config: PPOConfig) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.actor = MLP([config.obs_dim, *config.hidden, config.n_actions],
+                         activation="tanh", out_scale=0.01, rng=self.rng)
+        self.critic = MLP([config.obs_dim, *config.hidden, 1],
+                          activation="tanh", rng=self.rng)
+        self.policy = CategoricalPolicy(self.actor, rng=self.rng)
+        self.actor_opt = Adam(self.actor, config.actor_lr)
+        self.critic_opt = Adam(self.critic, config.critic_lr)
+        self.buffer = RolloutBuffer()
+        self.updates = 0
+
+    # -- acting ------------------------------------------------------------
+    def value(self, obs: np.ndarray) -> float:
+        return float(self.critic.forward(np.atleast_2d(obs))[0, 0])
+
+    def act(self, obs: np.ndarray, *, epsilon: float = 0.0,
+            greedy: bool = False) -> Dict[str, float]:
+        """Select an action; returns dict with action, log_prob and value."""
+        a, logp = self.policy.act(obs, epsilon=epsilon, greedy=greedy)
+        return {"action": a, "log_prob": logp, "value": self.value(obs)}
+
+    def record(self, obs: np.ndarray, action: int, reward: float, done: bool,
+               log_prob: float, value: float) -> None:
+        self.buffer.add(obs, action, reward, done, log_prob, value)
+
+    # -- learning ----------------------------------------------------------
+    def update(self, last_obs: Optional[np.ndarray] = None) -> Dict[str, float]:
+        """Run PPO epochs over the stored rollout and clear the buffer.
+
+        Returns diagnostics: mean policy loss, value loss, entropy,
+        approximate KL, and clip fraction.
+        """
+        buf = self.buffer
+        if len(buf) == 0:
+            return {"policy_loss": 0.0, "value_loss": 0.0, "entropy": 0.0,
+                    "approx_kl": 0.0, "clip_frac": 0.0}
+        cfg = self.config
+        obs = np.stack(buf.obs)
+        actions = np.asarray(buf.actions, dtype=np.int64)
+        old_logp = np.asarray(buf.log_probs)
+        values = np.asarray(buf.values)
+        last_value = 0.0
+        if last_obs is not None and not buf.dones[-1]:
+            last_value = self.value(last_obs)
+        adv, returns = compute_gae(np.asarray(buf.rewards), values,
+                                   np.asarray(buf.dones), last_value,
+                                   cfg.gamma, cfg.gae_lambda)
+        if cfg.normalize_advantages and len(adv) > 1:
+            adv = (adv - adv.mean()) / (adv.std() + 1e-8)
+
+        n = len(obs)
+        idx = np.arange(n)
+        stats = {"policy_loss": 0.0, "value_loss": 0.0, "entropy": 0.0,
+                 "approx_kl": 0.0, "clip_frac": 0.0}
+        batches = 0
+        for _ in range(cfg.epochs):
+            self.rng.shuffle(idx)
+            for start in range(0, n, cfg.minibatch_size):
+                mb = idx[start:start + cfg.minibatch_size]
+                s = self._update_minibatch(obs[mb], actions[mb], old_logp[mb],
+                                           adv[mb], returns[mb])
+                for k in stats:
+                    stats[k] += s[k]
+                batches += 1
+        for k in stats:
+            stats[k] /= max(batches, 1)
+        self.updates += 1
+        buf.clear()
+        return stats
+
+    def _update_minibatch(self, obs: np.ndarray, actions: np.ndarray,
+                          old_logp: np.ndarray, adv: np.ndarray,
+                          returns: np.ndarray) -> Dict[str, float]:
+        cfg = self.config
+        m = len(obs)
+
+        # ---- actor -------------------------------------------------------
+        logits = self.actor.forward(obs)
+        probs = softmax(logits)
+        logp_all = np.log(np.clip(probs, 1e-12, None))
+        new_logp = logp_all[np.arange(m), actions]
+        ratio = np.exp(new_logp - old_logp)
+        unclipped = ratio * adv
+        clipped = np.clip(ratio, 1.0 - cfg.clip_eps, 1.0 + cfg.clip_eps) * adv
+        surrogate = np.minimum(unclipped, clipped)
+        policy_loss = -float(surrogate.mean())
+        entropy = -(probs * logp_all).sum(axis=-1)
+
+        # Gradient of -surrogate wrt logits. The min() picks the unclipped
+        # branch whenever unclipped <= clipped; only that branch carries a
+        # ratio gradient (the clipped branch is constant in theta when the
+        # clip is active).
+        use_unclipped = unclipped <= clipped
+        coef = np.where(use_unclipped, ratio * adv, 0.0)
+        # When the clipped branch is selected but the ratio is inside the
+        # clip range, clip() is the identity and still differentiable.
+        inside = (ratio >= 1.0 - cfg.clip_eps) & (ratio <= 1.0 + cfg.clip_eps)
+        coef = np.where(~use_unclipped & inside, ratio * adv, coef)
+        grad_logp = CategoricalPolicy.grad_log_prob_logits(probs, actions)
+        grad_logits = -(coef[:, None] * grad_logp) / m
+        # entropy bonus (maximize entropy -> subtract its gradient)
+        grad_logits -= cfg.entropy_coef * CategoricalPolicy.grad_entropy_logits(probs) / m
+
+        self.actor.zero_grad()
+        self.actor.backward(grad_logits)
+        clip_gradients(self.actor.gradients().values(), cfg.max_grad_norm)
+        self.actor_opt.step()
+
+        # ---- critic ------------------------------------------------------
+        v = self.critic.forward(obs)[:, 0]
+        value_loss = float(np.mean((v - returns) ** 2))
+        grad_v = (2.0 * (v - returns) / m)[:, None]
+        self.critic.zero_grad()
+        self.critic.backward(grad_v)
+        clip_gradients(self.critic.gradients().values(), cfg.max_grad_norm)
+        self.critic_opt.step()
+
+        approx_kl = float(np.mean(old_logp - new_logp))
+        clip_frac = float(np.mean(np.abs(ratio - 1.0) > cfg.clip_eps))
+        return {"policy_loss": policy_loss, "value_loss": value_loss,
+                "entropy": float(entropy.mean()), "approx_kl": approx_kl,
+                "clip_frac": clip_frac}
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        return {"actor": self.actor.state_dict(),
+                "critic": self.critic.state_dict()}
+
+    def load_state_dict(self, state: Dict[str, Dict[str, np.ndarray]]) -> None:
+        self.actor.load_state_dict(state["actor"])
+        self.critic.load_state_dict(state["critic"])

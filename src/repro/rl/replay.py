@@ -1,0 +1,124 @@
+"""Experience replay buffers.
+
+Two variants:
+
+- :class:`ReplayBuffer` — the per-switch local buffer every DDQN agent
+  needs.
+- :class:`GlobalReplayBuffer` — the *shared* buffer the ACC paper's
+  multi-agent DDQN relies on: agents push local transitions into a common
+  pool and sample from the union.  PET's central criticism of ACC is the
+  memory and bandwidth overhead of keeping this pool synchronized across
+  switches, so the global buffer also meters how many bytes each agent
+  ships to its peers (``bytes_exchanged``) — the quantity PET eliminates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Transition", "ReplayBuffer", "GlobalReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) tuple."""
+
+    obs: np.ndarray
+    action: int
+    reward: float
+    next_obs: np.ndarray
+    done: bool
+
+    def nbytes(self) -> int:
+        """Approximate wire size of the transition if shipped to a peer."""
+        return int(self.obs.nbytes + self.next_obs.nbytes + 8 + 8 + 1)
+
+
+class ReplayBuffer:
+    """Uniform-sampling ring buffer."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._store: Deque[Transition] = deque(maxlen=capacity)
+        self.rng = rng or np.random.default_rng()
+
+    def push(self, t: Transition) -> None:
+        self._store.append(t)
+
+    def add(self, obs, action, reward, next_obs, done) -> None:
+        self.push(Transition(np.asarray(obs, dtype=np.float64).ravel(), int(action),
+                             float(reward),
+                             np.asarray(next_obs, dtype=np.float64).ravel(),
+                             bool(done)))
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def sample(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                               np.ndarray, np.ndarray]:
+        """Sample with replacement; returns stacked arrays."""
+        if len(self._store) == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = self.rng.integers(len(self._store), size=batch_size)
+        batch = [self._store[i] for i in idx]
+        obs = np.stack([t.obs for t in batch])
+        actions = np.array([t.action for t in batch], dtype=np.int64)
+        rewards = np.array([t.reward for t in batch])
+        next_obs = np.stack([t.next_obs for t in batch])
+        dones = np.array([t.done for t in batch], dtype=bool)
+        return obs, actions, rewards, next_obs, dones
+
+    def nbytes(self) -> int:
+        """Resident memory estimate of the buffered transitions."""
+        return sum(t.nbytes() for t in self._store)
+
+
+class GlobalReplayBuffer:
+    """Shared multi-agent replay pool with per-agent exchange accounting.
+
+    Every ``push`` from agent *i* is (conceptually) broadcast to all other
+    agents, so the bandwidth cost per push is ``(n_agents - 1) *
+    transition_size``.  ACC pays this; PET does not — which is why the
+    benchmark harness reports this meter in the overhead comparison.
+    """
+
+    def __init__(self, capacity: int, agent_ids: Sequence[Hashable],
+                 rng: np.random.Generator | None = None) -> None:
+        self.buffer = ReplayBuffer(capacity, rng=rng)
+        self.agent_ids = list(agent_ids)
+        if not self.agent_ids:
+            raise ValueError("need at least one agent")
+        self.bytes_exchanged: Dict[Hashable, int] = {a: 0 for a in self.agent_ids}
+        self.pushes: Dict[Hashable, int] = {a: 0 for a in self.agent_ids}
+
+    def push(self, agent_id: Hashable, t: Transition) -> None:
+        if agent_id not in self.bytes_exchanged:
+            raise KeyError(f"unknown agent {agent_id!r}")
+        self.buffer.push(t)
+        peers = len(self.agent_ids) - 1
+        self.bytes_exchanged[agent_id] += t.nbytes() * peers
+        self.pushes[agent_id] += 1
+
+    def add(self, agent_id: Hashable, obs, action, reward, next_obs, done) -> None:
+        self.push(agent_id, Transition(np.asarray(obs, dtype=np.float64).ravel(),
+                                       int(action), float(reward),
+                                       np.asarray(next_obs, dtype=np.float64).ravel(),
+                                       bool(done)))
+
+    def sample(self, batch_size: int):
+        return self.buffer.sample(batch_size)
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def total_bytes_exchanged(self) -> int:
+        return sum(self.bytes_exchanged.values())
+
+    def nbytes(self) -> int:
+        return self.buffer.nbytes()

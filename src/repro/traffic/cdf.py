@@ -1,0 +1,80 @@
+"""Piecewise-linear CDFs with inverse-transform sampling.
+
+This mirrors the CDF format of the Alibaba/HPCC ``traffic_gen`` tool the
+paper uses: a list of ``(value, cumulative_probability)`` knots, linearly
+interpolated between knots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PiecewiseCDF"]
+
+
+class PiecewiseCDF:
+    """A CDF defined by (value, probability) knots.
+
+    Parameters
+    ----------
+    points:
+        Sequence of ``(value, cum_prob)`` with non-decreasing values and
+        probabilities, ending at probability 1.0.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]], name: str = "") -> None:
+        if len(points) < 2:
+            raise ValueError("a CDF needs at least two knots")
+        vals = np.array([p[0] for p in points], dtype=np.float64)
+        probs = np.array([p[1] for p in points], dtype=np.float64)
+        if np.any(np.diff(vals) < 0) or np.any(np.diff(probs) < 0):
+            raise ValueError("CDF knots must be non-decreasing")
+        if not np.isclose(probs[-1], 1.0):
+            raise ValueError("CDF must end at probability 1.0")
+        if probs[0] < 0:
+            raise ValueError("probabilities must be non-negative")
+        self.values = vals
+        self.probs = probs
+        self.name = name
+
+    # -- sampling ----------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        """Inverse-transform sample(s)."""
+        u = rng.random(size)
+        out = np.interp(u, self.probs, self.values)
+        if size is None:
+            return float(out)
+        return out
+
+    def quantile(self, q) -> np.ndarray | float:
+        """Value at cumulative probability q (inverse CDF)."""
+        q = np.asarray(q, dtype=np.float64)
+        if np.any((q < 0) | (q > 1)):
+            raise ValueError("quantiles must be in [0, 1]")
+        out = np.interp(q, self.probs, self.values)
+        return float(out) if out.ndim == 0 else out
+
+    def cdf(self, x) -> np.ndarray | float:
+        """Cumulative probability at value x."""
+        x = np.asarray(x, dtype=np.float64)
+        out = np.interp(x, self.values, self.probs, left=0.0, right=1.0)
+        return float(out) if out.ndim == 0 else out
+
+    # -- moments -------------------------------------------------------------
+    def mean(self) -> float:
+        """Exact mean of the piecewise-linear distribution.
+
+        Within each knot interval the density is uniform, so the segment
+        contributes ``dp * (v0 + v1) / 2``; a first knot with positive
+        probability is a point mass at ``values[0]`` (inverse-transform
+        sampling clamps there), contributing ``probs[0] * values[0]``.
+        """
+        dv = (self.values[:-1] + self.values[1:]) / 2.0
+        dp = np.diff(self.probs)
+        return float(np.sum(dv * dp) + self.probs[0] * self.values[0])
+
+    def __repr__(self) -> str:
+        return (f"PiecewiseCDF(name={self.name!r}, knots={len(self.values)}, "
+                f"mean={self.mean():.1f})")

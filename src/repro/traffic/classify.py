@@ -1,0 +1,50 @@
+"""Mice/elephant flow classification (paper §4.2.1).
+
+The paper uses the DevoFlow rule: a flow whose cumulative size exceeds
+1 MB is an elephant.  ``R_flow`` — the mice:elephant ratio state feature
+— is computed here from whatever byte counts the NCM has observed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.netsim.flow import Flow, MICE_ELEPHANT_THRESHOLD
+
+__all__ = ["mice_elephant_ratio", "split_by_class", "count_classes"]
+
+
+def count_classes(sizes: Iterable[int],
+                  threshold: int = MICE_ELEPHANT_THRESHOLD) -> Tuple[int, int]:
+    """(n_mice, n_elephant) for an iterable of byte counts."""
+    mice = eleph = 0
+    for s in sizes:
+        if s > threshold:
+            eleph += 1
+        else:
+            mice += 1
+    return mice, eleph
+
+
+def mice_elephant_ratio(sizes: Iterable[int],
+                        threshold: int = MICE_ELEPHANT_THRESHOLD) -> float:
+    """Fraction of observed flows that are mice, in [0, 1].
+
+    The paper's R_flow is "the ratio of mice and elephant flows"; we use
+    the bounded form mice/(mice+elephant) so the state feature does not
+    blow up when no elephants are present (an empty observation set
+    returns 0.5, the uninformative midpoint).
+    """
+    mice, eleph = count_classes(sizes, threshold)
+    total = mice + eleph
+    if total == 0:
+        return 0.5
+    return mice / total
+
+
+def split_by_class(flows: Iterable[Flow]) -> Dict[str, List[Flow]]:
+    """Partition flows into {"mice": [...], "elephant": [...]}."""
+    out: Dict[str, List[Flow]] = {"mice": [], "elephant": []}
+    for f in flows:
+        out[f.kind].append(f)
+    return out

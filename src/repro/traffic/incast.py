@@ -1,0 +1,79 @@
+"""Many-to-one incast bursts (partition–aggregate traffic).
+
+The paper extends the Alibaba traffic generator to emit many-to-one
+patterns: a periodic aggregation step in which ``fan_in`` workers
+simultaneously return equally-sized responses to one aggregator.  The
+resulting synchronized bursts at the aggregator's last-hop port are what
+the incast-degree state feature lets PET detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.netsim.flow import Flow
+
+__all__ = ["IncastConfig", "IncastGenerator"]
+
+
+@dataclass
+class IncastConfig:
+    fan_in: int = 16                  # senders per aggregation
+    response_bytes: int = 64_000      # per-worker response size
+    period: float = 5e-3              # time between aggregations
+    duration: float = 50e-3           # total time to generate for
+    start_time: float = 0.0
+    jitter: float = 0.0               # +/- uniform jitter on worker starts
+    tag: str = "incast"
+
+    def __post_init__(self) -> None:
+        if self.fan_in < 2:
+            raise ValueError("incast needs fan_in >= 2")
+        if self.response_bytes <= 0 or self.period <= 0 or self.duration <= 0:
+            raise ValueError("sizes and times must be positive")
+
+
+class IncastGenerator:
+    """Generates synchronized many-to-one flow groups."""
+
+    def __init__(self, hosts: Sequence[str],
+                 rng: Optional[np.random.Generator] = None,
+                 first_flow_id: int = 0) -> None:
+        if len(hosts) < 3:
+            raise ValueError("need at least three hosts for incast")
+        self.hosts = list(hosts)
+        self.rng = rng or np.random.default_rng()
+        self._next_id = first_flow_id
+
+    def generate(self, cfg: IncastConfig,
+                 aggregator: Optional[str] = None) -> List[Flow]:
+        """All aggregation rounds within ``cfg.duration``.
+
+        When ``aggregator`` is None a fresh one is drawn per round
+        (spreading incast across the fabric, as partition–aggregate jobs
+        do); fixing it concentrates the bursts on one access link.
+        """
+        fan_in = min(cfg.fan_in, len(self.hosts) - 1)
+        flows: List[Flow] = []
+        t = cfg.start_time
+        end = cfg.start_time + cfg.duration
+        while t < end:
+            agg = aggregator or self.hosts[int(self.rng.integers(len(self.hosts)))]
+            workers = [h for h in self.hosts if h != agg]
+            chosen = self.rng.choice(len(workers), size=fan_in, replace=False)
+            for w in np.atleast_1d(chosen):
+                jit = (self.rng.uniform(-cfg.jitter, cfg.jitter)
+                       if cfg.jitter > 0 else 0.0)
+                flows.append(Flow(flow_id=self._next_id, src=workers[int(w)],
+                                  dst=agg, size_bytes=cfg.response_bytes,
+                                  start_time=max(t + jit, cfg.start_time),
+                                  tag=cfg.tag))
+                self._next_id += 1
+            t += cfg.period
+        return flows
+
+    def next_flow_id(self) -> int:
+        return self._next_id

@@ -1,0 +1,93 @@
+"""Timed workload-switching schedules (paper Fig. 6).
+
+The convergence experiment abruptly swaps the background traffic pattern
+(Web Search → Data Mining → Web Search → …) at fixed instants and
+watches how fast each controller re-converges.  A
+:class:`PatternSchedule` is a list of segments; :meth:`generate_flows`
+emits the concatenated Poisson arrivals with per-segment workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.netsim.flow import Flow
+from repro.traffic.generator import PoissonTrafficGenerator, TrafficConfig
+from repro.traffic.workloads import workload_by_name
+
+__all__ = ["PatternSegment", "PatternSchedule"]
+
+
+@dataclass(frozen=True)
+class PatternSegment:
+    """One homogeneous stretch of background traffic."""
+
+    workload: str          # name resolvable by workload_by_name
+    start_time: float
+    duration: float
+    load: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("segment duration must be positive")
+        workload_by_name(self.workload)   # validate eagerly
+
+
+class PatternSchedule:
+    """An ordered, non-overlapping sequence of traffic segments."""
+
+    def __init__(self, segments: Sequence[PatternSegment]) -> None:
+        if not segments:
+            raise ValueError("schedule needs at least one segment")
+        segs = sorted(segments, key=lambda s: s.start_time)
+        for a, b in zip(segs, segs[1:]):
+            if a.start_time + a.duration > b.start_time + 1e-12:
+                raise ValueError("segments overlap")
+        self.segments: List[PatternSegment] = list(segs)
+
+    @classmethod
+    def paper_fig6(cls, load: float = 0.6, scale: float = 1.0) -> "PatternSchedule":
+        """The Fig. 6 schedule: WS from 0, DM at 4.1s, WS at 8.1s, DM at 9.1s.
+
+        ``scale`` shrinks the timeline proportionally (our simulators run
+        shorter horizons than the paper's testbed).
+        """
+        pts = [(0.0, "websearch"), (4.1, "datamining"),
+               (8.1, "websearch"), (9.1, "datamining")]
+        end = 10.0
+        segs = []
+        for (t0, wl), t1 in zip(pts, [p[0] for p in pts[1:]] + [end]):
+            segs.append(PatternSegment(workload=wl, start_time=t0 * scale,
+                                       duration=(t1 - t0) * scale, load=load))
+        return cls(segs)
+
+    def total_duration(self) -> float:
+        last = self.segments[-1]
+        return last.start_time + last.duration
+
+    def workload_at(self, t: float) -> Optional[str]:
+        for seg in self.segments:
+            if seg.start_time <= t < seg.start_time + seg.duration:
+                return seg.workload
+        return None
+
+    def switch_times(self) -> List[float]:
+        """Instants where the workload changes (segment boundaries)."""
+        return [s.start_time for s in self.segments[1:]]
+
+    def generate_flows(self, hosts: Sequence[str], host_rate_bps: float,
+                       rng: Optional[np.random.Generator] = None) -> List[Flow]:
+        rng = rng or np.random.default_rng()
+        gen = PoissonTrafficGenerator(hosts, workload_by_name(
+            self.segments[0].workload), rng=rng)
+        flows: List[Flow] = []
+        for seg in self.segments:
+            gen.workload = workload_by_name(seg.workload)
+            cfg = TrafficConfig(load=seg.load, duration=seg.duration,
+                                host_rate_bps=host_rate_bps,
+                                start_time=seg.start_time, tag=seg.workload)
+            flows.extend(gen.generate(cfg))
+        return flows

@@ -1,0 +1,65 @@
+"""Published data-center flow-size distributions (paper Fig. 3).
+
+- **Web Search** — the DCTCP production cluster distribution (Alizadeh
+  et al., SIGCOMM 2010): a mix of short queries and multi-megabyte
+  background flows; ~60% of flows are under 200 KB but most *bytes* come
+  from >1 MB flows.
+- **Data Mining** — the VL2 distribution (Greenberg et al., SIGCOMM
+  2009): extremely heavy-tailed; ~80% of flows are under 10 KB while the
+  top few percent reach hundreds of megabytes.
+
+Knot values follow the CDF files shipped with the HPCC/Alibaba
+``traffic_gen`` tool the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.traffic.cdf import PiecewiseCDF
+
+__all__ = ["WEB_SEARCH", "DATA_MINING", "WORKLOADS", "workload_by_name"]
+
+WEB_SEARCH = PiecewiseCDF([
+    (1_000, 0.00),
+    (10_000, 0.15),
+    (20_000, 0.20),
+    (30_000, 0.30),
+    (50_000, 0.40),
+    (80_000, 0.53),
+    (200_000, 0.60),
+    (1_000_000, 0.70),
+    (2_000_000, 0.80),
+    (5_000_000, 0.90),
+    (10_000_000, 0.97),
+    (30_000_000, 1.00),
+], name="websearch")
+
+DATA_MINING = PiecewiseCDF([
+    (100, 0.00),
+    (180, 0.10),
+    (250, 0.20),
+    (560, 0.30),
+    (900, 0.40),
+    (1_100, 0.50),
+    (1_870, 0.60),
+    (3_160, 0.70),
+    (10_000, 0.80),
+    (400_000, 0.90),
+    (3_160_000, 0.95),
+    (100_000_000, 0.98),
+    (1_000_000_000, 1.00),
+], name="datamining")
+
+WORKLOADS: Dict[str, PiecewiseCDF] = {
+    "websearch": WEB_SEARCH,
+    "datamining": DATA_MINING,
+}
+
+
+def workload_by_name(name: str) -> PiecewiseCDF:
+    """Look up a workload CDF; raises KeyError with choices listed."""
+    key = name.lower().replace(" ", "").replace("_", "")
+    if key not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}")
+    return WORKLOADS[key]

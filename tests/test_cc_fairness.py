@@ -1,0 +1,81 @@
+"""Congestion-control quality tests: fairness and queue discipline."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.ecn import ECNConfig
+from repro.netsim.flow import Flow
+from repro.netsim.network import PacketNetwork
+from repro.netsim.topology import TopologyConfig
+
+
+def mk_net(transport, **kw):
+    defaults = dict(n_spine=1, n_leaf=2, hosts_per_leaf=2,
+                    host_rate_bps=2e8, spine_rate_bps=8e8)
+    defaults.update(kw)
+    return PacketNetwork(TopologyConfig(**defaults), transport=transport,
+                         seed=0)
+
+
+def jain_index(xs):
+    xs = np.asarray(xs, dtype=np.float64)
+    return float(xs.sum() ** 2 / (len(xs) * (xs * xs).sum()))
+
+
+class TestFairness:
+    @pytest.mark.parametrize("transport", ["dcqcn", "dctcp"])
+    def test_two_equal_flows_share_fairly(self, transport):
+        """Two same-size flows to one receiver should finish with
+        comparable FCTs (Jain fairness on 1/FCT > 0.9)."""
+        net = mk_net(transport)
+        net.set_ecn_all(ECNConfig(10_000, 40_000, 0.5))
+        flows = [Flow(1, "h0", "h2", 400_000, start_time=0.0),
+                 Flow(2, "h1", "h2", 400_000, start_time=0.0)]
+        net.start_flows(flows)
+        net.advance(5.0)
+        assert all(f.done for f in flows)
+        rates = [1.0 / f.fct for f in flows]
+        assert jain_index(rates) > 0.9
+
+    def test_late_flow_not_starved(self):
+        """A flow arriving mid-transfer of another must still complete
+        in bounded time (the AIMD yields bandwidth)."""
+        net = mk_net("dcqcn")
+        net.set_ecn_all(ECNConfig(10_000, 40_000, 0.5))
+        early = Flow(1, "h0", "h2", 2_000_000, start_time=0.0)
+        late = Flow(2, "h1", "h2", 100_000, start_time=0.01)
+        net.start_flows([early, late])
+        net.advance(5.0)
+        assert late.done
+        # the late mouse should not take longer than the ideal time of
+        # the whole elephant (i.e., it got a real share, not leftovers)
+        assert late.fct < early.size_bytes * 8 / 2e8
+
+
+class TestQueueDiscipline:
+    def test_single_flow_keeps_queue_near_empty(self):
+        """One flow through an ECN-free fabric must not build standing
+        queues (no self-inflicted bufferbloat in the transports)."""
+        for transport in ("dcqcn", "dctcp", "hpcc"):
+            net = mk_net(transport)
+            net.set_ecn_all(ECNConfig(50_000_000, 90_000_000, 0.01))
+            net.start_flow(Flow(1, "h0", "h2", 1_000_000))
+            net.advance(0.02)
+            stats = net.queue_stats()
+            max_q = max(s.max_port_qlen_bytes for s in stats.values())
+            # window transports keep at most ~initial window queued
+            assert max_q < 100_000, transport
+
+    def test_shallow_ecn_caps_standing_queue_dcqcn(self):
+        net = mk_net("dcqcn")
+        net.set_ecn_all(ECNConfig(5_000, 20_000, 1.0))
+        flows = [Flow(i, f"h{i}", "h2", 3_000_000) for i in range(2)]
+        net.start_flows(flows)
+        # sample the congested port across the transfer
+        peaks = []
+        for _ in range(40):
+            net.advance(2e-3)
+            stats = net.queue_stats()
+            peaks.append(max(s.max_port_qlen_bytes for s in stats.values()))
+        # the standing queue stays within a small multiple of Kmax
+        assert np.median(peaks) < 20_000 * 6

@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scheme == ["pet", "secn1"]
+        assert args.workload == "websearch"
+        assert args.load == 0.6
+
+    def test_scheme_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scheme", "reno"])
+
+    def test_workload_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "hadoop"])
+
+    def test_multiple_schemes(self):
+        args = build_parser().parse_args(["--scheme", "pet", "acc", "secn1"])
+        assert args.scheme == ["pet", "acc", "secn1"]
+
+
+class TestMain:
+    def test_static_run_prints_table(self, capsys):
+        rc = main(["--scheme", "secn1", "--duration", "0.01",
+                   "--pretrain", "0", "--hosts-per-leaf", "2",
+                   "--leaves", "2", "--spines", "1", "--no-incast"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "secn1" in out
+        assert "overall_avg_fct" in out
+
+    def test_two_schemes_two_rows(self, capsys):
+        rc = main(["--scheme", "secn1", "secn2", "--duration", "0.01",
+                   "--pretrain", "0", "--hosts-per-leaf", "2",
+                   "--leaves", "2", "--spines", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "secn1" in out and "secn2" in out

@@ -1,0 +1,119 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending() == 0
+    assert sim.peek_time() is None
+
+
+def test_schedule_and_run_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    n = sim.run()
+    assert n == 3
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_fifo_tiebreak():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_horizon_stops_and_advances_clock():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1.0, hits.append, 1)
+    sim.schedule(5.0, hits.append, 5)
+    sim.run(until=2.0)
+    assert hits == [1]
+    assert sim.now == 2.0       # clock advanced to the horizon
+    sim.run(until=10.0)
+    assert hits == [1, 5]
+
+
+def test_run_until_with_empty_heap_advances_clock():
+    sim = Simulator()
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+
+
+def test_cancel_event():
+    sim = Simulator()
+    hits = []
+    ev = sim.schedule(1.0, hits.append, "x")
+    ev.cancel()
+    sim.run()
+    assert hits == []
+    assert ev.cancelled
+
+
+def test_cancelled_event_drops_references():
+    sim = Simulator()
+    payload = object()
+    ev = sim.schedule(1.0, lambda p: None, payload)
+    ev.cancel()
+    assert ev.args == ()
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    hits = []
+
+    def chain(n):
+        hits.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 1)
+    sim.run()
+    assert hits == [1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_max_events_cap():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: None)
+    n = sim.run(max_events=4)
+    assert n == 4
+    assert sim.pending() == 6
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

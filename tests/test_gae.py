@@ -1,0 +1,83 @@
+"""Tests for Generalized Advantage Estimation (paper Eq. 9-10)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.gae import compute_gae, discounted_returns
+
+
+class TestComputeGAE:
+    def test_single_step(self):
+        adv, ret = compute_gae(rewards=[1.0], values=[0.5], dones=[False],
+                               last_value=2.0, gamma=0.9, lam=0.95)
+        # delta = 1 + 0.9*2 - 0.5 = 2.3
+        assert adv[0] == pytest.approx(2.3)
+        assert ret[0] == pytest.approx(2.8)
+
+    def test_terminal_step_no_bootstrap(self):
+        adv, _ = compute_gae([1.0], [0.5], [True], last_value=99.0,
+                             gamma=0.9, lam=0.95)
+        assert adv[0] == pytest.approx(0.5)   # 1 - 0.5, last_value ignored
+
+    def test_matches_hand_computation(self):
+        r = np.array([1.0, 0.0, 2.0])
+        v = np.array([0.5, 0.4, 0.3])
+        gamma, lam = 0.9, 0.8
+        deltas = np.array([
+            r[0] + gamma * v[1] - v[0],
+            r[1] + gamma * v[2] - v[1],
+            r[2] + gamma * 1.0 - v[2],
+        ])
+        expected2 = deltas[2]
+        expected1 = deltas[1] + gamma * lam * expected2
+        expected0 = deltas[0] + gamma * lam * expected1
+        adv, ret = compute_gae(r, v, [False] * 3, last_value=1.0,
+                               gamma=gamma, lam=lam)
+        np.testing.assert_allclose(adv, [expected0, expected1, expected2])
+        np.testing.assert_allclose(ret, adv + v)
+
+    def test_lambda_zero_is_td_error(self):
+        r = np.array([1.0, 2.0])
+        v = np.array([0.5, 0.4])
+        adv, _ = compute_gae(r, v, [False, False], last_value=0.3,
+                             gamma=0.9, lam=0.0)
+        np.testing.assert_allclose(adv, [1 + 0.9 * 0.4 - 0.5,
+                                         2 + 0.9 * 0.3 - 0.4])
+
+    def test_lambda_one_is_montecarlo_minus_value(self):
+        r = np.array([1.0, 1.0, 1.0])
+        v = np.array([0.0, 0.0, 0.0])
+        gamma = 0.5
+        adv, _ = compute_gae(r, v, [False, False, True], last_value=0.0,
+                             gamma=gamma, lam=1.0)
+        # discounted reward-to-go: [1 + .5 + .25, 1 + .5, 1]
+        np.testing.assert_allclose(adv, [1.75, 1.5, 1.0])
+
+    def test_done_resets_accumulation(self):
+        r = np.array([1.0, 1.0])
+        v = np.array([0.0, 0.0])
+        adv, _ = compute_gae(r, v, [True, False], last_value=0.0,
+                             gamma=0.9, lam=0.9)
+        # first step terminal: advantage exactly its reward
+        assert adv[0] == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_gae([1.0], [0.5, 0.2], [False], 0.0, 0.9, 0.9)
+
+
+class TestDiscountedReturns:
+    def test_simple_chain(self):
+        out = discounted_returns([1.0, 1.0, 1.0], [False, False, False],
+                                 last_value=0.0, gamma=0.5)
+        np.testing.assert_allclose(out, [1.75, 1.5, 1.0])
+
+    def test_bootstrap_from_last_value(self):
+        out = discounted_returns([0.0], [False], last_value=10.0, gamma=0.9)
+        assert out[0] == pytest.approx(9.0)
+
+    def test_done_cuts_bootstrap(self):
+        out = discounted_returns([1.0, 1.0], [True, False], last_value=10.0,
+                                 gamma=0.9)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(10.0)

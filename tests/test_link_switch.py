@@ -1,0 +1,209 @@
+"""Tests for output ports (serialization, ECN at enqueue) and switches (ECMP)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.ecn import ECNConfig, ECNMarker
+from repro.netsim.engine import Simulator
+from repro.netsim.link import OutputPort
+from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.queueing import ByteQueue
+from repro.netsim.switch import SwitchNode
+
+
+class Sink:
+    """Terminal node recording deliveries with timestamps."""
+
+    def __init__(self, sim, name="sink"):
+        self.sim = sim
+        self.name = name
+        self.received = []
+
+    def receive(self, pkt):
+        self.received.append((self.sim.now, pkt))
+
+
+def _pkt(flow_id=1, size=1000, dst="sink"):
+    return Packet(flow_id=flow_id, src="src", dst=dst, size_bytes=size)
+
+
+class TestOutputPort:
+    def test_serialization_time(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = OutputPort(sim, owner="A", peer=sink, rate_bps=8_000_000,
+                          prop_delay=1e-3)
+        port.send(_pkt(size=1000))     # tx time = 8000 bits / 8 Mbps = 1 ms
+        sim.run()
+        t, _ = sink.received[0]
+        assert t == pytest.approx(2e-3)   # 1 ms tx + 1 ms propagation
+
+    def test_back_to_back_packets_serialize(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = OutputPort(sim, "A", sink, rate_bps=8_000_000, prop_delay=0.0)
+        for i in range(3):
+            port.send(_pkt(flow_id=i))
+        sim.run()
+        times = [t for t, _ in sink.received]
+        np.testing.assert_allclose(times, [1e-3, 2e-3, 3e-3])
+
+    def test_fifo_order_preserved(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = OutputPort(sim, "A", sink, rate_bps=1e9, prop_delay=0.0)
+        for i in range(5):
+            port.send(_pkt(flow_id=i))
+        sim.run()
+        assert [p.flow_id for _, p in sink.received] == list(range(5))
+
+    def test_down_port_drops(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = OutputPort(sim, "A", sink, rate_bps=1e9, prop_delay=0.0)
+        port.set_up(False)
+        assert not port.send(_pkt())
+        sim.run()
+        assert sink.received == []
+        assert port.queue.counters.dropped_pkts == 1
+
+    def test_marker_marks_on_enqueue_when_backlogged(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        marker = ECNMarker(ECNConfig(0, 1, 1.0), rng=np.random.default_rng(0))
+        port = OutputPort(sim, "A", sink, rate_bps=8_000, prop_delay=0.0,
+                          marker=marker)
+        port.send(_pkt(flow_id=1))   # queue empty at decision time -> no mark
+        port.send(_pkt(flow_id=2))   # first packet is in flight; queue holds 0
+        port.send(_pkt(flow_id=3))   # queue now backlogged -> marked
+        sim.run()
+        marked = [p.flow_id for _, p in sink.received if p.marked]
+        assert 3 in marked
+        assert 1 not in marked
+
+    def test_control_packets_never_marked(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        marker = ECNMarker(ECNConfig(0, 1, 1.0), rng=np.random.default_rng(0))
+        port = OutputPort(sim, "A", sink, rate_bps=8_000, prop_delay=0.0,
+                          marker=marker, queue=ByteQueue(100_000))
+        port.send(_pkt(size=1000))
+        ack = Packet(flow_id=1, src="s", dst="sink", size_bytes=64,
+                     kind=PacketKind.ACK)
+        port.send(ack)
+        sim.run()
+        assert not ack.marked
+
+    def test_int_records_appended(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        port = OutputPort(sim, "A", sink, rate_bps=1e9, prop_delay=0.0,
+                          int_enabled=True)
+        p = _pkt()
+        p.int_records = []
+        port.send(p)
+        sim.run()
+        assert len(p.int_records) == 1
+        rec = p.int_records[0]
+        assert rec.link_rate_bps == 1e9
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            OutputPort(sim, "A", "B", rate_bps=0, prop_delay=0.0)
+        with pytest.raises(ValueError):
+            OutputPort(sim, "A", "B", rate_bps=1e9, prop_delay=-1.0)
+
+
+class TestSwitchECMP:
+    def _switch_with_ports(self, sim, n_ports):
+        sw = SwitchNode("sw")
+        sinks = []
+        for i in range(n_ports):
+            sink = Sink(sim, name=f"sink{i}")
+            port = OutputPort(sim, sw, sink, rate_bps=1e9, prop_delay=0.0)
+            sw.add_port(port)
+            sinks.append(sink)
+        return sw, sinks
+
+    def test_single_route_forwarding(self):
+        sim = Simulator()
+        sw, sinks = self._switch_with_ports(sim, 2)
+        sw.set_route("sink", [1])
+        sw.receive(_pkt())
+        sim.run()
+        assert len(sinks[1].received) == 1
+        assert sinks[0].received == []
+
+    def test_flow_pinning(self):
+        """All packets of one flow take the same ECMP member."""
+        sim = Simulator()
+        sw, sinks = self._switch_with_ports(sim, 4)
+        sw.set_route("sink", [0, 1, 2, 3])
+        for _ in range(10):
+            sw.receive(_pkt(flow_id=42))
+        sim.run()
+        used = [i for i, s in enumerate(sinks) if s.received]
+        assert len(used) == 1
+        assert len(sinks[used[0]].received) == 10
+
+    def test_flows_spread_across_members(self):
+        sim = Simulator()
+        sw, sinks = self._switch_with_ports(sim, 4)
+        sw.set_route("sink", [0, 1, 2, 3])
+        for fid in range(200):
+            sw.receive(_pkt(flow_id=fid))
+        sim.run()
+        counts = np.array([len(s.received) for s in sinks])
+        assert np.all(counts > 20)   # roughly uniform
+
+    def test_down_member_excluded(self):
+        sim = Simulator()
+        sw, sinks = self._switch_with_ports(sim, 2)
+        sw.set_route("sink", [0, 1])
+        sw.ports[0].set_up(False)
+        for fid in range(20):
+            sw.receive(_pkt(flow_id=fid))
+        sim.run()
+        assert sinks[0].received == []
+        assert len(sinks[1].received) == 20
+
+    def test_no_route_counts_drop(self):
+        sim = Simulator()
+        sw, _ = self._switch_with_ports(sim, 1)
+        sw.receive(_pkt(dst="unknown"))
+        assert sw.routing_drops == 1
+
+    def test_all_members_down_counts_drop(self):
+        sim = Simulator()
+        sw, _ = self._switch_with_ports(sim, 1)
+        sw.set_route("sink", [0])
+        sw.ports[0].set_up(False)
+        sw.receive(_pkt())
+        assert sw.routing_drops == 1
+
+    def test_set_ecn_all_and_current(self):
+        sim = Simulator()
+        sw = SwitchNode("sw")
+        sink = Sink(sim)
+        for _ in range(2):
+            marker = ECNMarker(ECNConfig(1000, 2000, 0.5))
+            sw.add_port(OutputPort(sim, sw, sink, 1e9, 0.0, marker=marker))
+        cfg = ECNConfig(10, 20, 1.0)
+        sw.set_ecn_all(cfg)
+        assert sw.current_ecn() == cfg
+        assert all(p.marker.config == cfg for p in sw.ports)
+
+    def test_route_validation(self):
+        sw = SwitchNode("sw")
+        with pytest.raises(ValueError):
+            sw.set_route("x", [])
+        with pytest.raises(IndexError):
+            sw.set_route("x", [3])
+
+    def test_aggregate_capacity_excludes_down(self):
+        sim = Simulator()
+        sw, _ = self._switch_with_ports(sim, 2)
+        assert sw.aggregate_capacity_bps() == pytest.approx(2e9)
+        sw.ports[0].set_up(False)
+        assert sw.aggregate_capacity_bps() == pytest.approx(1e9)

@@ -1,0 +1,147 @@
+"""Tests for the Network Condition Monitor and the ECN Configuration Module."""
+
+import pytest
+
+from repro.core.action import ActionCodec
+from repro.core.config import PETConfig
+from repro.core.ecn_cm import ECNConfigModule
+from repro.core.ncm import NetworkConditionMonitor
+from repro.netsim.ecn import ECNConfig
+from repro.netsim.network import QueueStats
+from repro.netsim.queueing import FlowObservation
+
+
+def mk_stats(switch="leaf0", flow_obs=None):
+    return QueueStats(switch=switch, interval=1e-3, qlen_bytes=0,
+                      max_port_qlen_bytes=0, avg_qlen_bytes=0, tx_bytes=0,
+                      tx_marked_bytes=0, dropped_pkts=0, capacity_bps=1e9,
+                      ecn=None, flow_obs=flow_obs or {})
+
+
+def obs(fid, src, dst, nbytes=1000, t=0.0):
+    return FlowObservation(fid, src, dst, nbytes, t)
+
+
+class TestIncastDegree:
+    def test_empty(self):
+        assert NetworkConditionMonitor.compute_incast_degree({}) == 0
+
+    def test_many_to_one(self):
+        table = {i: obs(i, f"h{i}", "h9") for i in range(5)}
+        assert NetworkConditionMonitor.compute_incast_degree(table) == 5
+
+    def test_max_over_receivers(self):
+        table = {1: obs(1, "a", "x"), 2: obs(2, "b", "x"),
+                 3: obs(3, "c", "y")}
+        assert NetworkConditionMonitor.compute_incast_degree(table) == 2
+
+    def test_duplicate_senders_counted_once(self):
+        table = {1: obs(1, "a", "x"), 2: obs(2, "a", "x")}
+        assert NetworkConditionMonitor.compute_incast_degree(table) == 1
+
+
+class TestNCMIngestAnalyze:
+    def test_wrong_switch_rejected(self):
+        ncm = NetworkConditionMonitor("leaf0", PETConfig())
+        with pytest.raises(ValueError):
+            ncm.ingest(mk_stats(switch="leaf1"), 0.0)
+
+    def test_analysis_combines_window_slots(self):
+        cfg = PETConfig(history_k=3)
+        ncm = NetworkConditionMonitor("leaf0", cfg)
+        a1 = ncm.ingest(mk_stats(flow_obs={1: obs(1, "a", "x")}), 1e-3)
+        assert a1.incast_degree == 1
+        a2 = ncm.ingest(mk_stats(flow_obs={2: obs(2, "b", "x")}), 2e-3)
+        # both senders to x retained in the window
+        assert a2.incast_degree == 2
+        assert a2.n_flows_observed == 2
+
+    def test_flow_ratio_from_observed_bytes(self):
+        ncm = NetworkConditionMonitor("leaf0", PETConfig())
+        table = {1: obs(1, "a", "x", nbytes=100),
+                 2: obs(2, "b", "x", nbytes=5_000_000)}
+        analysis = ncm.ingest(mk_stats(flow_obs=table), 0.0)
+        assert analysis.flow_ratio == pytest.approx(0.5)
+
+    def test_empty_observation_neutral_ratio(self):
+        ncm = NetworkConditionMonitor("leaf0", PETConfig())
+        analysis = ncm.ingest(mk_stats(), 0.0)
+        assert analysis.flow_ratio == 0.5
+        assert analysis.incast_degree == 0
+
+
+class TestNCMCleanup:
+    def test_scheduled_cleanup_expires_old_slots(self):
+        cfg = PETConfig(history_k=2, ncm_cleanup_interval_slots=3,
+                        ncm_memory_threshold_bytes=10**9)
+        ncm = NetworkConditionMonitor("leaf0", cfg)
+        for i in range(6):
+            ncm.ingest(mk_stats(flow_obs={i: obs(i, "a", "x")}), i * 1e-3)
+        assert ncm.cleanups_scheduled == 2      # at slots 3 and 6
+        assert ncm.retained_slots() <= max(cfg.history_k,
+                                           cfg.ncm_cleanup_interval_slots)
+        assert ncm.entries_pruned > 0
+
+    def test_threshold_cleanup_on_burst(self):
+        cfg = PETConfig(history_k=8, ncm_cleanup_interval_slots=100,
+                        ncm_memory_threshold_bytes=48 * 10,   # tiny budget
+                        ncm_threshold_drop_fraction=0.5)
+        ncm = NetworkConditionMonitor("leaf0", cfg)
+        burst = {i: obs(i, f"h{i}", "agg", t=float(i)) for i in range(40)}
+        ncm.ingest(mk_stats(flow_obs=burst), 0.0)
+        assert ncm.cleanups_threshold >= 1
+        assert ncm.memory_bytes() <= 48 * 40    # roughly half dropped
+        assert ncm.entries_pruned >= 20
+
+    def test_memory_metering(self):
+        ncm = NetworkConditionMonitor("leaf0", PETConfig())
+        assert ncm.memory_bytes() == 0
+        ncm.ingest(mk_stats(flow_obs={1: obs(1, "a", "x")}), 0.0)
+        assert ncm.memory_bytes() == 48
+
+
+class DummyNetwork:
+    def __init__(self):
+        self.applied = []
+
+    def set_ecn(self, switch, config):
+        self.applied.append((switch, config))
+
+
+class TestECNConfigModule:
+    def test_apply_decodes_and_pushes(self):
+        codec = ActionCodec.compact()
+        mod = ECNConfigModule("leaf0", codec, min_interval=1e-3)
+        net = DummyNetwork()
+        out = mod.apply(3, now=0.0, network=net)
+        assert out == codec.decode(3)
+        assert net.applied == [("leaf0", out)]
+        assert mod.applied == 1
+
+    def test_rate_limit_suppresses_fast_retuning(self):
+        codec = ActionCodec.compact()
+        mod = ECNConfigModule("leaf0", codec, min_interval=1e-3)
+        net = DummyNetwork()
+        mod.apply(0, now=0.0, network=net)
+        assert mod.apply(1, now=0.5e-3, network=net) is None
+        assert mod.suppressed == 1
+        assert mod.apply(1, now=1.1e-3, network=net) is not None
+
+    def test_exact_interval_allowed(self):
+        codec = ActionCodec.compact()
+        mod = ECNConfigModule("leaf0", codec, min_interval=1e-3)
+        net = DummyNetwork()
+        mod.apply(0, now=0.0, network=net)
+        assert mod.apply(1, now=1e-3, network=net) is not None
+
+    def test_force_bypasses_rate_limit(self):
+        codec = ActionCodec.compact()
+        mod = ECNConfigModule("leaf0", codec, min_interval=1.0)
+        net = DummyNetwork()
+        mod.apply(0, now=0.0, network=net)
+        mod.force(ECNConfig(1, 2, 0.5), now=0.1, network=net)
+        assert mod.current == ECNConfig(1, 2, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ECNConfigModule("leaf0", ActionCodec.compact(), min_interval=-1)

@@ -1,0 +1,173 @@
+"""Tests for the NumPy neural-network layers, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.rl.nn import MLP, Linear, ReLU, Tanh, clip_gradients
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        hi = f()
+        x[i] = old - eps
+        lo = f()
+        x[i] = old
+        g[i] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(3, 5, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((4, 3)))
+        assert out.shape == (4, 5)
+
+    def test_forward_matches_matmul(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(layer.forward(x), x @ layer.W + layer.b)
+
+    def test_backward_gradcheck(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(6, 4))
+        target = rng.normal(size=(6, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        grad_in = layer.backward(out - target)
+        num_W = numerical_grad(loss, layer.W)
+        num_b = numerical_grad(loss, layer.b)
+        np.testing.assert_allclose(layer.dW, num_W, atol=1e-5)
+        np.testing.assert_allclose(layer.db, num_b, atol=1e-5)
+        num_x = numerical_grad(loss, x)
+        np.testing.assert_allclose(grad_in, num_x, atol=1e-5)
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("act_cls,fn", [(Tanh, np.tanh),
+                                            (ReLU, lambda x: np.maximum(x, 0))])
+    def test_forward(self, act_cls, fn):
+        act = act_cls()
+        x = np.linspace(-2, 2, 11).reshape(1, -1)
+        np.testing.assert_allclose(act.forward(x), fn(x))
+
+    def test_tanh_gradcheck(self):
+        act = Tanh()
+        x = np.random.default_rng(3).normal(size=(2, 5))
+
+        def loss():
+            return np.sum(act.forward(x) ** 2)
+
+        y = act.forward(x)
+        grad = act.backward(2 * y)
+        np.testing.assert_allclose(grad, numerical_grad(loss, x), atol=1e-6)
+
+    def test_relu_grad_zero_for_negative(self):
+        act = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        act.forward(x)
+        g = act.backward(np.ones_like(x))
+        np.testing.assert_allclose(g, [[0.0, 1.0]])
+
+
+class TestMLP:
+    def test_shapes_and_param_count(self):
+        net = MLP([4, 8, 3], rng=np.random.default_rng(0))
+        assert net.forward(np.ones((2, 4))).shape == (2, 3)
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_full_gradcheck(self):
+        rng = np.random.default_rng(4)
+        net = MLP([3, 6, 2], rng=rng)
+        x = rng.normal(size=(4, 3))
+        t = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * np.sum((net.forward(x) - t) ** 2)
+
+        out = net.forward(x)
+        net.zero_grad()
+        net.backward(out - t)
+        for name, p in net.parameters().items():
+            num = numerical_grad(loss, p)
+            np.testing.assert_allclose(net.gradients()[name], num, atol=1e-5,
+                                       err_msg=name)
+
+    def test_grad_accumulation_and_zero(self):
+        net = MLP([2, 4, 1], rng=np.random.default_rng(5))
+        x = np.ones((1, 2))
+        net.forward(x)
+        net.backward(np.ones((1, 1)))
+        g1 = {k: v.copy() for k, v in net.gradients().items()}
+        net.forward(x)
+        net.backward(np.ones((1, 1)))
+        for k, g in net.gradients().items():
+            np.testing.assert_allclose(g, 2 * g1[k])
+        net.zero_grad()
+        assert all(np.all(g == 0) for g in net.gradients().values())
+
+    def test_state_dict_roundtrip(self):
+        a = MLP([3, 5, 2], rng=np.random.default_rng(6))
+        b = MLP([3, 5, 2], rng=np.random.default_rng(7))
+        x = np.random.default_rng(8).normal(size=(2, 3))
+        assert not np.allclose(a.forward(x), b.forward(x))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_state_dict_shape_mismatch_rejected(self):
+        a = MLP([3, 5, 2])
+        b = MLP([3, 4, 2])
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_out_scale_shrinks_head(self):
+        big = MLP([4, 8, 3], out_scale=1.0, rng=np.random.default_rng(9))
+        small = MLP([4, 8, 3], out_scale=0.01, rng=np.random.default_rng(9))
+        last_big = [l for l in big.layers if isinstance(l, Linear)][-1]
+        last_small = [l for l in small.layers if isinstance(l, Linear)][-1]
+        assert np.abs(last_small.W).max() < np.abs(last_big.W).max() / 10
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+        with pytest.raises(ValueError):
+            MLP([4, 2], activation="sigmoid")
+
+
+class TestClipGradients:
+    def test_noop_below_norm(self):
+        g = [np.array([3.0, 4.0])]
+        norm = clip_gradients(g, max_norm=10.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(g[0], [3.0, 4.0])
+
+    def test_scales_above_norm(self):
+        g = [np.array([3.0, 4.0])]
+        clip_gradients(g, max_norm=1.0)
+        assert np.linalg.norm(g[0]) == pytest.approx(1.0)
+
+    def test_zero_max_norm_disables(self):
+        g = [np.array([30.0, 40.0])]
+        clip_gradients(g, max_norm=0.0)
+        np.testing.assert_allclose(g[0], [30.0, 40.0])

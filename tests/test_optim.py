@@ -1,0 +1,78 @@
+"""Tests for Adam/SGD optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.rl.nn import MLP
+from repro.rl.optim import Adam, SGD
+
+
+def _train_quadratic(opt_cls, steps=300, **kwargs):
+    """Minimize ||net(x) - t||^2 on a fixed batch; return final loss."""
+    rng = np.random.default_rng(0)
+    net = MLP([2, 8, 1], rng=rng)
+    x = rng.normal(size=(16, 2))
+    t = (x[:, :1] * 0.5 - x[:, 1:] * 0.25)
+    opt = opt_cls(net, **kwargs)
+    loss = None
+    for _ in range(steps):
+        out = net.forward(x)
+        loss = float(np.mean((out - t) ** 2))
+        net.zero_grad()
+        net.backward(2 * (out - t) / len(x))
+        opt.step()
+    return loss
+
+
+def test_sgd_descends():
+    assert _train_quadratic(SGD, lr=0.05) < 0.01
+
+
+def test_sgd_momentum_descends():
+    assert _train_quadratic(SGD, lr=0.02, momentum=0.9) < 0.01
+
+
+def test_adam_descends_fast():
+    assert _train_quadratic(Adam, steps=150, lr=0.01) < 0.005
+
+
+def test_adam_bias_correction_first_step():
+    """With bias correction the first Adam step is ~lr * sign(grad)."""
+    net = MLP([1, 1], rng=np.random.default_rng(1))
+    w_before = net.parameters()["layer0.W"].copy()
+    out = net.forward(np.array([[1.0]]))
+    net.zero_grad()
+    net.backward(np.array([[1.0]]))
+    Adam(net, lr=0.1).step()
+    w_after = net.parameters()["layer0.W"]
+    assert abs(float(np.abs(w_after - w_before).ravel()[0]) - 0.1) < 1e-6
+
+
+def test_invalid_hyperparams():
+    net = MLP([2, 2])
+    with pytest.raises(ValueError):
+        Adam(net, lr=-1.0)
+    with pytest.raises(ValueError):
+        Adam(net, lr=0.1, beta1=1.0)
+    with pytest.raises(ValueError):
+        SGD(net, lr=0.1, momentum=1.0)
+
+
+def test_zero_grad_passthrough():
+    net = MLP([2, 2], rng=np.random.default_rng(2))
+    net.forward(np.ones((1, 2)))
+    net.backward(np.ones((1, 2)))
+    opt = Adam(net, lr=0.1)
+    opt.zero_grad()
+    assert all(np.all(g == 0) for g in net.gradients().values())
+
+
+def test_adam_zero_grad_step_keeps_params():
+    """A step on exactly-zero gradients must not move parameters."""
+    net = MLP([2, 2], rng=np.random.default_rng(3))
+    before = {k: v.copy() for k, v in net.parameters().items()}
+    opt = Adam(net, lr=0.1)
+    net.zero_grad()
+    opt.step()
+    for k, v in net.parameters().items():
+        np.testing.assert_allclose(v, before[k])

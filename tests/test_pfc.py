@@ -1,0 +1,123 @@
+"""Tests for the simplified PFC implementation."""
+
+import pytest
+
+from repro.netsim.ecn import ECNConfig
+from repro.netsim.engine import Simulator
+from repro.netsim.flow import Flow
+from repro.netsim.link import OutputPort
+from repro.netsim.network import PacketNetwork
+from repro.netsim.pfc import PFCController, enable_pfc
+from repro.netsim.topology import TopologyConfig
+
+
+def mk_net(**kw):
+    defaults = dict(n_spine=1, n_leaf=2, hosts_per_leaf=4,
+                    host_rate_bps=1e8, spine_rate_bps=4e8)
+    defaults.update(kw)
+    return PacketNetwork(TopologyConfig(**defaults), seed=0)
+
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.name = "sink"
+        self.received = []
+
+    def receive(self, pkt):
+        self.received.append((self.sim.now, pkt))
+
+
+class TestPortPause:
+    def test_paused_port_stops_dequeuing(self):
+        from repro.netsim.packet import Packet
+        sim = Simulator()
+        sink = Sink(sim)
+        port = OutputPort(sim, "A", sink, rate_bps=8e6, prop_delay=0.0)
+        for i in range(3):
+            port.send(Packet(flow_id=i, src="a", dst="sink",
+                             size_bytes=1000))
+        sim.run(until=0.5e-3)        # mid-flight of the first packet
+        port.set_paused(True)        # in-flight packet still completes
+        sim.run(until=10e-3)
+        assert len(sink.received) == 1
+        port.set_paused(False)
+        sim.run(until=20e-3)
+        assert len(sink.received) == 3
+
+    def test_resume_idle_port_restarts(self):
+        from repro.netsim.packet import Packet
+        sim = Simulator()
+        sink = Sink(sim)
+        port = OutputPort(sim, "A", sink, rate_bps=8e6, prop_delay=0.0)
+        port.set_paused(True)
+        port.send(Packet(flow_id=1, src="a", dst="sink", size_bytes=1000))
+        sim.run(until=5e-3)
+        assert sink.received == []
+        port.set_paused(False)
+        sim.run(until=10e-3)
+        assert len(sink.received) == 1
+
+
+class TestPFCController:
+    def test_validation(self):
+        net = mk_net()
+        with pytest.raises(ValueError):
+            PFCController(net, xoff_bytes=100, xon_bytes=100)
+        with pytest.raises(ValueError):
+            PFCController(net, poll_period=0.0)
+
+    def test_upstream_map_covers_switches(self):
+        net = mk_net()
+        pfc = PFCController(net)
+        # leaf0 is fed by its 4 hosts and the spine
+        feeders = pfc.upstream_ports["leaf0"]
+        peer_names = {getattr(p.owner, "name", p.owner) for p in feeders}
+        assert any(n.startswith("h") for n in peer_names)
+        assert any(n.startswith("spine") for n in peer_names)
+
+    def test_pause_fires_under_incast_and_resumes(self):
+        net = mk_net(switch_buffer_bytes=1_000_000)
+        net.set_ecn_all(ECNConfig(50_000_000, 90_000_000, 0.01))  # ECN off
+        pfc = enable_pfc(net, xoff_bytes=60_000, xon_bytes=20_000)
+        flows = [Flow(i, f"h{1 + i}", "h0", 150_000) for i in range(6)]
+        net.start_flows(flows)
+        net.advance(0.5)
+        assert pfc.pause_events > 0
+        net.advance(3.0)
+        assert all(f.done for f in flows)
+        assert not pfc.any_paused()          # drained and resumed
+        assert pfc.resume_events == pfc.pause_events
+
+    def test_pfc_prevents_drops_with_tiny_buffers(self):
+        """The lossless claim: same burst, tiny buffers — PFC absorbs it
+        upstream while the no-PFC run drops."""
+        def run(with_pfc):
+            net = mk_net(switch_buffer_bytes=12_000,
+                         host_buffer_bytes=10_000_000)
+            net.set_ecn_all(ECNConfig(50_000_000, 90_000_000, 0.01))
+            if with_pfc:
+                enable_pfc(net, xoff_bytes=6_000, xon_bytes=2_000)
+            flows = [Flow(i, f"h{1 + i}", "h0", 60_000) for i in range(6)]
+            net.start_flows(flows)
+            net.advance(4.0)
+            return net, flows
+
+        net_off, flows_off = run(False)
+        assert net_off.total_drops() > 0
+
+        net_on, flows_on = run(True)
+        assert net_on.total_drops() == 0
+        assert all(f.done for f in flows_on)
+
+    def test_congestion_spreading_observable(self):
+        """PFC's known side effect: pausing pushes queueing upstream
+        into the sender hosts' NICs."""
+        net = mk_net(switch_buffer_bytes=1_000_000)
+        net.set_ecn_all(ECNConfig(50_000_000, 90_000_000, 0.01))
+        enable_pfc(net, xoff_bytes=30_000, xon_bytes=10_000)
+        flows = [Flow(i, f"h{1 + i}", "h0", 200_000) for i in range(3)]
+        net.start_flows(flows)
+        net.advance(0.02)
+        nic_backlog = max(h.nic.qlen_bytes for h in net.topology.hosts)
+        assert nic_backlog > 0

@@ -1,0 +1,158 @@
+"""Tests for the categorical policy and the Eq. 13 exploration schedule."""
+
+import numpy as np
+import pytest
+
+from repro.rl.nn import MLP
+from repro.rl.policy import (CategoricalPolicy, ExplorationSchedule,
+                             log_softmax, softmax)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        z = np.random.default_rng(0).normal(size=(5, 7))
+        p = softmax(z)
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+        assert np.all(p > 0)
+
+    def test_shift_invariance(self):
+        z = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0))
+
+    def test_numerical_stability_large_logits(self):
+        p = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistency(self):
+        z = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(log_softmax(z), np.log(softmax(z)),
+                                   atol=1e-12)
+
+
+class TestCategoricalPolicy:
+    def _policy(self, seed=0, n_actions=4):
+        net = MLP([3, 8, n_actions], rng=np.random.default_rng(seed))
+        return CategoricalPolicy(net, rng=np.random.default_rng(seed + 1))
+
+    def test_act_returns_valid_action_and_logprob(self):
+        pol = self._policy()
+        a, logp = pol.act(np.zeros(3))
+        assert 0 <= a < pol.n_actions
+        assert logp <= 0.0
+
+    def test_greedy_picks_argmax(self):
+        pol = self._policy()
+        obs = np.ones(3)
+        p = pol.probs(obs)[0]
+        a, _ = pol.act(obs, greedy=True)
+        assert a == int(np.argmax(p))
+
+    def test_sampling_matches_distribution(self):
+        pol = self._policy(seed=3)
+        obs = np.ones(3)
+        p = pol.probs(obs)[0]
+        counts = np.zeros(pol.n_actions)
+        n = 5000
+        for _ in range(n):
+            a, _ = pol.act(obs)
+            counts[a] += 1
+        np.testing.assert_allclose(counts / n, p, atol=0.03)
+
+    def test_epsilon_one_is_uniform(self):
+        pol = self._policy(seed=4)
+        obs = np.ones(3)
+        counts = np.zeros(pol.n_actions)
+        n = 4000
+        for _ in range(n):
+            a, _ = pol.act(obs, epsilon=1.0)
+            counts[a] += 1
+        np.testing.assert_allclose(counts / n, 0.25, atol=0.04)
+
+    def test_entropy_bounds(self):
+        pol = self._policy()
+        h = pol.entropy(np.zeros((2, 3)))
+        assert np.all(h >= 0)
+        assert np.all(h <= np.log(pol.n_actions) + 1e-9)
+
+    def test_batch_obs_rejected_by_act(self):
+        pol = self._policy()
+        with pytest.raises(ValueError):
+            pol.act(np.zeros((2, 3)))
+
+    def test_grad_log_prob_logits(self):
+        """Analytic d log p(a)/d z vs numerical differentiation."""
+        rng = np.random.default_rng(5)
+        z = rng.normal(size=(1, 4))
+        a = np.array([2])
+        analytic = CategoricalPolicy.grad_log_prob_logits(softmax(z), a)
+        eps = 1e-6
+        num = np.zeros_like(z)
+        for j in range(4):
+            zp, zm = z.copy(), z.copy()
+            zp[0, j] += eps
+            zm[0, j] -= eps
+            num[0, j] = (log_softmax(zp)[0, a[0]] -
+                         log_softmax(zm)[0, a[0]]) / (2 * eps)
+        np.testing.assert_allclose(analytic, num, atol=1e-6)
+
+    def test_grad_entropy_logits(self):
+        rng = np.random.default_rng(6)
+        z = rng.normal(size=(1, 5))
+
+        def entropy(zz):
+            p = softmax(zz)
+            return float(-(p * np.log(p)).sum())
+
+        analytic = CategoricalPolicy.grad_entropy_logits(softmax(z))
+        eps = 1e-6
+        num = np.zeros_like(z)
+        for j in range(5):
+            zp, zm = z.copy(), z.copy()
+            zp[0, j] += eps
+            zm[0, j] -= eps
+            num[0, j] = (entropy(zp) - entropy(zm)) / (2 * eps)
+        np.testing.assert_allclose(analytic, num, atol=1e-6)
+
+
+class TestExplorationSchedule:
+    def test_constant_during_warmup(self):
+        s = ExplorationSchedule(eps0=0.2, decay_rate=0.99, decay_step=50)
+        vals = [s.step() for _ in range(51)]
+        assert all(v == pytest.approx(0.2) for v in vals)
+
+    def test_eq13_decay_after_warmup(self):
+        s = ExplorationSchedule(eps0=0.2, decay_rate=0.99, decay_step=50)
+        for _ in range(51):
+            s.step()
+        # t = 51 now
+        expected = 0.99 ** (51 / 50) * 0.2
+        assert s.value() == pytest.approx(expected)
+
+    def test_monotone_decay(self):
+        s = ExplorationSchedule(eps0=0.5, decay_rate=0.9, decay_step=10)
+        vals = [s.step() for _ in range(200)]
+        assert vals[-1] < vals[20] < vals[0] + 1e-12
+        assert all(a >= b - 1e-15 for a, b in zip(vals, vals[1:]))
+
+    def test_min_eps_floor(self):
+        s = ExplorationSchedule(eps0=0.5, decay_rate=0.5, decay_step=1,
+                                min_eps=0.1)
+        for _ in range(100):
+            s.step()
+        assert s.value() == pytest.approx(0.1)
+
+    def test_reset(self):
+        s = ExplorationSchedule(eps0=0.3, decay_rate=0.9, decay_step=5)
+        for _ in range(50):
+            s.step()
+        s.reset()
+        assert s.value() == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExplorationSchedule(eps0=1.5)
+        with pytest.raises(ValueError):
+            ExplorationSchedule(decay_rate=0.0)
+        with pytest.raises(ValueError):
+            ExplorationSchedule(decay_step=0)

@@ -1,0 +1,114 @@
+"""Tests for the time-series recorder and delay-derived ECN settings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import TimeSeriesRecorder
+from repro.netsim.ecn import ECNConfig
+
+
+class TestRecorder:
+    def test_record_and_columns(self):
+        rec = TimeSeriesRecorder()
+        rec.record(0.0, qlen=10.0, util=0.5)
+        rec.record(1.0, qlen=20.0, util=0.6)
+        assert len(rec) == 2
+        np.testing.assert_allclose(rec.times(), [0.0, 1.0])
+        np.testing.assert_allclose(rec.column("qlen"), [10.0, 20.0])
+
+    def test_schema_extends_with_nan_backfill(self):
+        rec = TimeSeriesRecorder()
+        rec.record(0.0, a=1.0)
+        rec.record(1.0, a=2.0, b=9.0)
+        col = rec.column("b")
+        assert np.isnan(col[0]) and col[1] == 9.0
+
+    def test_time_monotonicity_enforced(self):
+        rec = TimeSeriesRecorder()
+        rec.record(1.0, x=0.0)
+        with pytest.raises(ValueError):
+            rec.record(0.5, x=0.0)
+
+    def test_unknown_field_rejected(self):
+        rec = TimeSeriesRecorder()
+        rec.record(0.0, x=1.0)
+        with pytest.raises(KeyError):
+            rec.column("y")
+
+    def test_window_slicing(self):
+        rec = TimeSeriesRecorder()
+        for t in range(10):
+            rec.record(float(t), v=float(t))
+        w = rec.window(3.0, 7.0)
+        np.testing.assert_allclose(w.times(), [3, 4, 5, 6])
+
+    def test_summary(self):
+        rec = TimeSeriesRecorder()
+        for t, v in enumerate([1.0, 3.0]):
+            rec.record(float(t), v=v)
+        s = rec.summary("v")
+        assert s["count"] == 2
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_summary_empty_field(self):
+        rec = TimeSeriesRecorder()
+        rec.record(0.0, a=1.0)
+        rec.record(1.0, a=2.0, b=1.0)
+        s = rec.summary("b")
+        assert s["count"] == 1
+
+    def test_csv_roundtrip(self, tmp_path):
+        rec = TimeSeriesRecorder()
+        rec.record(0.0, qlen=5.0)
+        rec.record(1e-3, qlen=7.5, util=0.4)
+        path = str(tmp_path / "trace.csv")
+        rec.to_csv(path)
+        back = TimeSeriesRecorder.from_csv(path)
+        assert len(back) == 2
+        np.testing.assert_allclose(back.column("qlen"), [5.0, 7.5])
+        assert np.isnan(back.column("util")[0])
+
+    def test_with_control_loop(self):
+        from repro.baselines.static_ecn import secn1
+        from repro.core.training import run_control_loop
+        from repro.netsim.flow import Flow
+        from repro.netsim.fluid import FluidConfig, FluidNetwork
+
+        net = FluidNetwork(FluidConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2,
+                                       host_rate_bps=10e9,
+                                       spine_rate_bps=40e9), seed=0)
+        net.start_flow(Flow(1, "h0", "h2", 5_000_000))
+        rec = TimeSeriesRecorder()
+
+        def probe(i, now, stats):
+            rec.record(now, qlen=sum(s.qlen_bytes for s in stats.values()))
+
+        run_control_loop(net, secn1(), intervals=10, delta_t=1e-3,
+                         on_interval=probe)
+        assert len(rec) == 10
+        assert rec.times()[-1] == pytest.approx(10e-3, rel=0.01)
+
+
+class TestDelayDerivedECN:
+    def test_delay_to_bytes_conversion(self):
+        cfg = ECNConfig.from_delay(100e-6, 10e9)   # 100us at 10 Gbps
+        assert cfg.kmax_bytes == 125_000
+        assert cfg.kmin_bytes == 31_250
+
+    def test_scales_with_port_speed(self):
+        slow = ECNConfig.from_delay(50e-6, 25e9)
+        fast = ECNConfig.from_delay(50e-6, 100e9)
+        assert fast.kmax_bytes == 4 * slow.kmax_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ECNConfig.from_delay(0.0, 1e9)
+        with pytest.raises(ValueError):
+            ECNConfig.from_delay(1e-3, 0.0)
+
+    def test_marks_at_equivalent_delay(self):
+        cfg = ECNConfig.from_delay(10e-6, 8e9, pmax=1.0)  # 10us at 8 Gbps
+        # queue of exactly the delay budget: at Kmax -> always mark
+        assert cfg.marking_probability(10_000) == 1.0
+        assert cfg.marking_probability(1_000) == 0.0
