@@ -1,4 +1,12 @@
-"""Ensure the in-tree package is importable when not pip-installed."""
+"""Test-session bootstrap: path setup + runtime invariant sanitizer.
+
+The in-tree package is made importable when not pip-installed, and the
+:mod:`repro.devtools.sanitize` runtime sanitizer is installed for the
+whole test session (monotonic virtual time, queue bounds, packet
+conservation, RED probability, ECN threshold ordering — see
+``docs/DEVTOOLS.md``).  Set ``PET_SANITIZE=0`` to run the suite without
+it.
+"""
 
 import os
 import sys
@@ -6,3 +14,8 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+from repro.devtools import sanitize as _sanitize  # noqa: E402
+
+if _sanitize.enabled_from_env(default=True):
+    _sanitize.enable()

@@ -18,7 +18,7 @@ Typical use with the control loop::
 from __future__ import annotations
 
 import csv
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 import numpy as np
 

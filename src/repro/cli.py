@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.analysis.experiments import (SCHEMES, ScenarioConfig,
                                         run_scenario)
 from repro.analysis.report import format_result_rows
+from repro.devtools import sanitize
 from repro.netsim.fluid import FluidConfig
 
 __all__ = ["main", "build_parser"]
@@ -45,11 +46,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hosts-per-leaf", type=int, default=8)
     p.add_argument("--leaves", type=int, default=4)
     p.add_argument("--spines", type=int, default=2)
+    p.add_argument("--sanitize", action="store_true",
+                   help="enable the runtime invariant sanitizer "
+                        "(repro.devtools.sanitize) for this run")
     return p
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sanitize or sanitize.enabled_from_env():
+        sanitize.enable()
     fabric = FluidConfig(n_spine=args.spines, n_leaf=args.leaves,
                          hosts_per_leaf=args.hosts_per_leaf,
                          host_rate_bps=10e9, spine_rate_bps=40e9)

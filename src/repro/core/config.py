@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 __all__ = ["PETConfig"]
@@ -67,6 +67,12 @@ class PETConfig:
     ncm_threshold_drop_fraction: float = 0.5   # portion dropped on trigger
 
     seed: Optional[int] = None
+
+    # ---- devtools ---------------------------------------------------------
+    #: install the runtime invariant sanitizer
+    #: (:mod:`repro.devtools.sanitize`) when the environment/controller is
+    #: constructed; also enabled globally by the ``PET_SANITIZE`` env var.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.alpha_kb <= 0:

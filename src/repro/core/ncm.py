@@ -25,7 +25,7 @@ One NCM instance runs per switch and plays its three roles:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.core.config import PETConfig
 from repro.netsim.flow import MICE_ELEPHANT_THRESHOLD

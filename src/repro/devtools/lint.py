@@ -1,0 +1,465 @@
+"""PET invariant linter — project-specific static analysis.
+
+The simulator must be a faithful, deterministic substitute for ns-3; a
+single unit mix-up or unseeded RNG silently corrupts every downstream
+figure.  This linter enforces the project's discipline at the AST level:
+
+========  ==============================================================
+Rule      What it forbids
+========  ==============================================================
+PET001    wall-clock time sources (``time.time``, ``datetime.now`` ...)
+          inside determinism-critical packages (``netsim``, ``core``,
+          ``rl``) — simulation code must use virtual time only.
+PET002    unseeded / global randomness (``random.*``, module-level
+          ``np.random.*``, ``np.random.default_rng()`` with no seed)
+          inside determinism-critical packages — all randomness must
+          flow through an injected ``numpy.random.Generator``.
+PET003    ``==`` / ``!=`` on simulation-time expressions (``now``,
+          ``sim.now``, ``*_time`` identifiers) — float equality on
+          event timestamps is a determinism trap; compare with
+          tolerances or orderings.
+PET004    arithmetic (``+``/``-``), comparisons, or direct assignment
+          mixing identifiers with different unit suffixes
+          (``*_bytes`` vs ``*_kb``, ``*_s`` vs ``*_ms``, ...) in
+          ``netsim`` and ``core/config.py``.
+PET005    ``Simulator.schedule(delay, ...)`` call sites whose delay
+          expression is not provably non-negative (contains a bare
+          subtraction or unary minus outside ``max()``/``abs()``).
+PET006    mutable default arguments (anywhere).
+========  ==============================================================
+
+Escape hatch: append ``# pet: noqa`` (suppress all rules) or
+``# pet: noqa-PET004`` (optionally comma-separated rule ids) to the
+flagged line.
+
+Run as a module::
+
+    python -m repro.devtools.lint src/
+
+Exit status is 0 when clean, 1 when violations were found, 2 on usage
+or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["RULES", "Violation", "lint_source", "lint_file", "lint_paths", "main"]
+
+RULES: Dict[str, str] = {
+    "PET001": "wall-clock time source in simulation code (use virtual time)",
+    "PET002": "unseeded or global randomness (inject a seeded numpy Generator)",
+    "PET003": "float equality comparison on simulation time",
+    "PET004": "mixes identifiers with different unit suffixes",
+    "PET005": "schedule() delay is not provably non-negative",
+    "PET006": "mutable default argument",
+}
+
+#: Packages where wall-clock time and unseeded randomness are forbidden.
+_DETERMINISM_SCOPE = ("netsim", "core", "rl")
+
+_WALL_CLOCK_CALLS = (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "date.today",
+)
+
+#: numpy.random attributes that *construct* a seedable generator: allowed
+#: when given an explicit seed/bit-generator argument.
+_RNG_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+_UNIT_SUFFIX_RE = re.compile(
+    r"_(bytes|kb|mb|gb|bits|pkts|bps|kbps|mbps|gbps|s|ms|us|ns)$")
+
+_NOQA_RE = re.compile(r"#\s*pet:\s*noqa(-(?P<rules>PET\d{3}(?:\s*,\s*PET\d{3})*))?",
+                      re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One linter finding, pointing at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+def _path_scopes(path: str) -> Tuple[bool, bool]:
+    """(determinism_scope, unit_scope) membership for a file path.
+
+    Determinism rules (PET001/PET002) apply under ``netsim``, ``core``
+    and ``rl``; unit-suffix discipline (PET004) applies under ``netsim``
+    and to ``core/config.py``.
+    """
+    parts = Path(path).parts
+    determinism = any(p in _DETERMINISM_SCOPE for p in parts)
+    unit = "netsim" in parts or ("core" in parts and parts[-1] == "config.py")
+    return determinism, unit
+
+
+def _suppressed_rules(line_text: str) -> Optional[Set[str]]:
+    """Rules silenced by a ``# pet: noqa`` directive on this line.
+
+    Returns ``None`` when there is no directive, the empty set for a
+    bare ``# pet: noqa`` (silence everything), or the set of rule ids
+    for ``# pet: noqa-PET001,PET004``.
+    """
+    m = _NOQA_RE.search(line_text)
+    if m is None:
+        return None
+    rules = m.group("rules")
+    if not rules:
+        return set()
+    return {r.strip().upper() for r in rules.split(",")}
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: Sequence[str],
+                 select: Optional[Set[str]] = None) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.select = select
+        self.violations: List[Violation] = []
+        self.determinism_scope, self.unit_scope = _path_scopes(path)
+        #: local alias -> imported module dotted path ("np" -> "numpy")
+        self._module_aliases: Dict[str, str] = {}
+        #: local name -> fully qualified origin ("default_rng" ->
+        #: "numpy.random.default_rng")
+        self._from_imports: Dict[str, str] = {}
+
+    # -- plumbing ----------------------------------------------------------
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.select is not None and rule not in self.select:
+            return
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        text = self.lines[line - 1] if 0 < line <= len(self.lines) else ""
+        suppressed = _suppressed_rules(text)
+        if suppressed is not None and (not suppressed or rule in suppressed):
+            return
+        self.violations.append(Violation(rule, self.path, line, col, message))
+
+    def _resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted name of a Name/Attribute chain with import aliases
+        normalised at the root; None for non-name expressions."""
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = cur.id
+        parts.append(self._module_aliases.get(root, root))
+        dotted = ".".join(reversed(parts))
+        if root in self._from_imports and root not in self._module_aliases:
+            head = self._from_imports[root]
+            rest = dotted[len(root):]
+            dotted = head + rest
+        return dotted
+
+    # -- imports ------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for a in node.names:
+            local = a.asname or a.name.split(".")[0]
+            self._module_aliases[local] = a.name if a.asname else a.name.split(".")[0]
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for a in node.names:
+                if a.name != "*":
+                    self._from_imports[a.asname or a.name] = f"{node.module}.{a.name}"
+        self.generic_visit(node)
+
+    # -- PET001 / PET002 / PET005 (calls) ------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._resolve(node.func)
+        if dotted is not None:
+            if self.determinism_scope:
+                self._check_wall_clock(node, dotted)
+                self._check_randomness(node, dotted)
+            self._check_schedule(node, dotted)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
+        for forbidden in _WALL_CLOCK_CALLS:
+            if dotted == forbidden or dotted.endswith("." + forbidden):
+                self._flag("PET001", node,
+                           f"call to wall-clock `{forbidden}` — simulation code "
+                           "must use virtual time (Simulator.now)")
+                return
+
+    def _check_randomness(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) > 1:
+            self._flag("PET002", node,
+                       f"stdlib `{dotted}` uses the global RNG — inject a seeded "
+                       "numpy Generator instead")
+            return
+        # numpy.random.X (or anything.random.X after alias resolution,
+        # excluding generator *instances* like `self.rng.random()`).
+        if len(parts) >= 3 and parts[-2] == "random" and parts[0] in ("numpy", "np"):
+            fn = parts[-1]
+            if fn in _RNG_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    self._flag("PET002", node,
+                               f"`{dotted}()` without a seed is nondeterministic — "
+                               "pass a seed or inject a Generator")
+            else:
+                self._flag("PET002", node,
+                           f"module-level `{dotted}` uses numpy's global RNG — "
+                           "inject a seeded Generator instead")
+            return
+        # from numpy.random import default_rng  ->  default_rng()
+        if dotted.startswith("numpy.random."):
+            fn = parts[-1]
+            if fn in _RNG_CONSTRUCTORS and not node.args and not node.keywords:
+                self._flag("PET002", node,
+                           f"`{fn}()` without a seed is nondeterministic — "
+                           "pass a seed or inject a Generator")
+
+    def _check_schedule(self, node: ast.Call, dotted: str) -> None:
+        if not dotted.endswith(".schedule") and dotted != "schedule":
+            return
+        delay: Optional[ast.expr] = None
+        if node.args:
+            delay = node.args[0]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "delay":
+                    delay = kw.value
+        if delay is None:
+            return
+        if isinstance(delay, ast.Constant) and isinstance(delay.value, (int, float)):
+            if delay.value < 0:
+                self._flag("PET005", node,
+                           f"schedule() with negative literal delay {delay.value}")
+            return
+        if self._maybe_negative(delay):
+            self._flag("PET005", node,
+                       "schedule() delay contains a subtraction/negation not "
+                       "wrapped in max()/abs() — clamp it or annotate the line")
+
+    def _maybe_negative(self, expr: ast.expr) -> bool:
+        """Conservative check: does the expression contain a subtraction
+        or unary minus outside a clamping ``max()``/``abs()`` call?"""
+        if isinstance(expr, ast.Call):
+            fn = expr.func
+            if isinstance(fn, ast.Name) and fn.id in ("max", "abs"):
+                return False
+            return any(self._maybe_negative(a) for a in expr.args) or any(
+                self._maybe_negative(kw.value) for kw in expr.keywords)
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+            operand = expr.operand
+            if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, (int, float)):
+                return True   # literal negative
+            return True
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, ast.Sub):
+                return True
+            return self._maybe_negative(expr.left) or self._maybe_negative(expr.right)
+        if isinstance(expr, ast.IfExp):
+            return (self._maybe_negative(expr.body)
+                    or self._maybe_negative(expr.orelse))
+        return False
+
+    # -- PET003 / PET004 (comparisons) -----------------------------------------
+    @staticmethod
+    def _is_time_expr(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == "now" or node.id.endswith("_time")
+        if isinstance(node, ast.Attribute):
+            return (node.attr in ("now", "time")
+                    or node.attr.endswith("_time"))
+        return False
+
+    @staticmethod
+    def _unit_suffix(node: ast.expr) -> Optional[str]:
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            return None
+        m = _UNIT_SUFFIX_RE.search(name)
+        return m.group(1) if m else None
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                if self._is_time_expr(left) or self._is_time_expr(right):
+                    self._flag("PET003", node,
+                               "float equality on simulation time — compare with "
+                               "a tolerance or an ordering")
+            if self.unit_scope:
+                s1, s2 = self._unit_suffix(left), self._unit_suffix(right)
+                if s1 is not None and s2 is not None and s1 != s2:
+                    self._flag("PET004", node,
+                               f"comparison mixes `_{s1}` and `_{s2}` quantities "
+                               "— convert explicitly first")
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self.unit_scope and isinstance(node.op, (ast.Add, ast.Sub)):
+            s1 = self._unit_suffix(node.left)
+            s2 = self._unit_suffix(node.right)
+            if s1 is not None and s2 is not None and s1 != s2:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                self._flag("PET004", node,
+                           f"`{op}` mixes `_{s1}` and `_{s2}` quantities — "
+                           "convert explicitly first")
+        self.generic_visit(node)
+
+    def _check_unit_assign(self, target: ast.expr, value: Optional[ast.expr]) -> None:
+        if not self.unit_scope or value is None:
+            return
+        s_dst = self._unit_suffix(target)
+        s_src = self._unit_suffix(value)
+        if s_dst is not None and s_src is not None and s_dst != s_src:
+            self._flag("PET004", target,
+                       f"assigns a `_{s_src}` value to a `_{s_dst}` name — "
+                       "convert explicitly first")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, (ast.Name, ast.Attribute)):
+            for t in node.targets:
+                self._check_unit_assign(t, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.value, (ast.Name, ast.Attribute)):
+            self._check_unit_assign(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if (isinstance(node.op, (ast.Add, ast.Sub))
+                and isinstance(node.value, (ast.Name, ast.Attribute))):
+            self._check_unit_assign(node.target, node.value)
+        self.generic_visit(node)
+
+    # -- PET006 (mutable defaults) -----------------------------------------------
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for d in defaults:
+            mutable = isinstance(d, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                     ast.DictComp, ast.SetComp))
+            if (isinstance(d, ast.Call) and isinstance(d.func, ast.Name)
+                    and d.func.id in ("list", "dict", "set", "bytearray")):
+                mutable = True
+            if mutable:
+                self._flag("PET006", d,
+                           f"mutable default argument in `{node.name}()` — use "
+                           "None and construct inside the body")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+# -- public API ---------------------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Lint a source string; ``path`` determines rule scoping."""
+    sel = {s.upper() for s in select} if select is not None else None
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path, source.splitlines(), sel)
+    checker.visit(tree)
+    return sorted(checker.violations, key=lambda v: (v.line, v.col, v.rule))
+
+
+def lint_file(path: str, select: Optional[Iterable[str]] = None) -> List[Violation]:
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path), select)
+
+
+def _iter_py_files(paths: Iterable[str]) -> Iterable[Path]:
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[str],
+               select: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    out: List[Violation] = []
+    for f in _iter_py_files(paths):
+        out.extend(lint_file(str(f), select))
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="PET invariant linter (rules PET001..PET006)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to enable (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {s.strip().upper() for s in args.select.split(",") if s.strip()}
+        unknown = select - set(RULES)
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    missing = [p for p in (args.paths or ["src"]) if not Path(p).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        violations = lint_paths(args.paths or ["src"], select)
+    except SyntaxError as exc:
+        print(f"{exc.filename}:{exc.lineno}: parse error: {exc.msg}",
+              file=sys.stderr)
+        return 2
+
+    for v in violations:
+        print(v.format())
+    if violations:
+        print(f"\n{len(violations)} violation(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

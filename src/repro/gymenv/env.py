@@ -49,6 +49,9 @@ class DCNEnv:
         self.config = config or EnvConfig()
         self._factory = network_factory or self._default_factory
         cfg = self.config
+        if cfg.pet.sanitize:
+            from repro.devtools import sanitize as _sanitize
+            _sanitize.enable()
         self.codec = ActionCodec.from_config(cfg.pet)
         self.state_builder = StateBuilder(cfg.pet)
         self.reward = RewardComputer(cfg.pet)

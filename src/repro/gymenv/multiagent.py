@@ -13,7 +13,6 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.action import ActionCodec
-from repro.core.config import PETConfig
 from repro.core.ncm import NetworkConditionMonitor
 from repro.core.reward import RewardComputer
 from repro.core.state import HistoryWindow, StateBuilder

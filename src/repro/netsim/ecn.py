@@ -80,7 +80,7 @@ class ECNMarker:
 
     def __init__(self, config: ECNConfig, rng: np.random.Generator | None = None) -> None:
         self.config = config
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.marks = 0
         self.decisions = 0
 

@@ -26,7 +26,7 @@ class LinkFailureInjector:
     def __init__(self, network: PacketNetwork,
                  rng: Optional[np.random.Generator] = None) -> None:
         self.network = network
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.failed: List[Tuple[str, int]] = []
 
     def _ports(self) -> List[Tuple[str, int]]:

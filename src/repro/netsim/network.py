@@ -16,7 +16,7 @@ interface, so controllers and the gym bridge are simulator-agnostic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -85,7 +85,7 @@ class PacketNetwork:
     """Assembled packet-level simulation."""
 
     def __init__(self, config: Optional[TopologyConfig] = None, *,
-                 transport: str = "dcqcn", seed: Optional[int] = None,
+                 transport: str = "dcqcn", seed: Optional[int] = 0,
                  latency_sample_cap: int = 200_000,
                  transport_kwargs: Optional[dict] = None) -> None:
         if transport not in _TRANSPORTS:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 __all__ = ["ECNCodepoint", "PacketKind", "Packet", "INTRecord"]
 

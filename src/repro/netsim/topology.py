@@ -83,7 +83,7 @@ class LeafSpineTopology:
                  rng: Optional[np.random.Generator] = None) -> None:
         self.config = config
         self.sim = sim
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.hosts: List[HostNode] = []
         self.leaves: List[SwitchNode] = []
         self.spines: List[SwitchNode] = []

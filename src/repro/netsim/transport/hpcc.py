@@ -19,7 +19,7 @@ covers all three CC families.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.netsim.packet import INTRecord, Packet
 from repro.netsim.transport.base import HostTransport, SenderState

@@ -52,7 +52,7 @@ class CategoricalPolicy:
 
     def __init__(self, net: MLP, rng: np.random.Generator | None = None) -> None:
         self.net = net
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.n_actions = net.sizes[-1]
 
     def probs(self, obs: np.ndarray) -> np.ndarray:

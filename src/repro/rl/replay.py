@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Hashable, List, Sequence, Tuple
+from typing import Deque, Dict, Hashable, Sequence, Tuple
 
 import numpy as np
 
@@ -46,7 +46,7 @@ class ReplayBuffer:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._store: Deque[Transition] = deque(maxlen=capacity)
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def push(self, t: Transition) -> None:
         self._store.append(t)

@@ -1,0 +1,338 @@
+"""Coverage for the PET invariant linter (repro.devtools.lint).
+
+One passing and one failing fixture snippet per rule id, noqa escape
+hatches, scoping, the CLI entry point, and the acceptance check that
+the repo's own ``src/`` tree lints clean.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import RULES, lint_paths, lint_source
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: path that places a snippet inside the determinism/unit scopes
+SCOPED = "src/repro/netsim/fixture.py"
+#: path outside every restricted scope
+UNSCOPED = "src/repro/analysis/fixture.py"
+
+
+def rules_found(source, path=SCOPED):
+    return {v.rule for v in lint_source(textwrap.dedent(source), path)}
+
+
+class TestPET001WallClock:
+    def test_flags_time_time(self):
+        src = """
+        import time
+        def stamp():
+            return time.time()
+        """
+        assert "PET001" in rules_found(src)
+
+    def test_flags_datetime_now(self):
+        src = """
+        import datetime
+        def stamp():
+            return datetime.datetime.now()
+        """
+        assert "PET001" in rules_found(src)
+
+    def test_passes_virtual_time(self):
+        src = """
+        def stamp(sim):
+            return sim.now
+        """
+        assert "PET001" not in rules_found(src)
+
+    def test_not_applied_outside_scope(self):
+        src = """
+        import time
+        def stamp():
+            return time.time()
+        """
+        assert "PET001" not in rules_found(src, path=UNSCOPED)
+
+
+class TestPET002Randomness:
+    def test_flags_stdlib_random(self):
+        src = """
+        import random
+        def draw():
+            return random.random()
+        """
+        assert "PET002" in rules_found(src)
+
+    def test_flags_stdlib_from_import(self):
+        src = """
+        from random import randint
+        def draw():
+            return randint(0, 10)
+        """
+        assert "PET002" in rules_found(src)
+
+    def test_flags_numpy_module_level(self):
+        src = """
+        import numpy as np
+        def draw():
+            return np.random.random()
+        """
+        assert "PET002" in rules_found(src)
+
+    def test_flags_unseeded_default_rng(self):
+        src = """
+        import numpy as np
+        def make():
+            return np.random.default_rng()
+        """
+        assert "PET002" in rules_found(src)
+
+    def test_passes_seeded_default_rng(self):
+        src = """
+        import numpy as np
+        def make(seed):
+            return np.random.default_rng(seed)
+        """
+        assert "PET002" not in rules_found(src)
+
+    def test_passes_injected_generator_methods(self):
+        src = """
+        def draw(rng):
+            return rng.random() + rng.integers(10)
+        """
+        assert "PET002" not in rules_found(src)
+
+
+class TestPET003TimeEquality:
+    def test_flags_now_equality(self):
+        src = """
+        def same(sim, t):
+            return sim.now == t
+        """
+        assert "PET003" in rules_found(src)
+
+    def test_flags_time_suffix_inequality(self):
+        src = """
+        def differs(finish_time, start_time):
+            return finish_time != start_time
+        """
+        assert "PET003" in rules_found(src)
+
+    def test_passes_ordering(self):
+        src = """
+        def later(sim, t):
+            return sim.now >= t
+        """
+        assert "PET003" not in rules_found(src)
+
+    def test_passes_tolerance(self):
+        src = """
+        def close(finish_time, t, eps):
+            return abs(finish_time - t) < eps
+        """
+        assert "PET003" not in rules_found(src)
+
+
+class TestPET004UnitSuffixes:
+    def test_flags_mixed_addition(self):
+        src = """
+        def total(qlen_bytes, limit_kb):
+            return qlen_bytes + limit_kb
+        """
+        assert "PET004" in rules_found(src)
+
+    def test_flags_mixed_comparison(self):
+        src = """
+        def over(qlen_bytes, cap_kb):
+            return qlen_bytes > cap_kb
+        """
+        assert "PET004" in rules_found(src)
+
+    def test_flags_mixed_assignment(self):
+        src = """
+        def convert(size_kb):
+            size_bytes = size_kb
+            return size_bytes
+        """
+        assert "PET004" in rules_found(src)
+
+    def test_passes_same_suffix(self):
+        src = """
+        def total(qlen_bytes, pkt_bytes):
+            return qlen_bytes + pkt_bytes
+        """
+        assert "PET004" not in rules_found(src)
+
+    def test_passes_multiplicative_conversion(self):
+        src = """
+        def convert(size_kb):
+            size_bytes = size_kb * 1000
+            return size_bytes
+        """
+        assert "PET004" not in rules_found(src)
+
+    def test_scope_is_netsim_and_core_config(self):
+        src = """
+        def total(qlen_bytes, limit_kb):
+            return qlen_bytes + limit_kb
+        """
+        assert "PET004" in rules_found(src, path="src/repro/core/config.py")
+        assert "PET004" not in rules_found(src, path="src/repro/core/reward.py")
+        assert "PET004" not in rules_found(src, path=UNSCOPED)
+
+
+class TestPET005ScheduleDelay:
+    def test_flags_negative_literal(self):
+        src = """
+        def go(sim, fn):
+            sim.schedule(-1e-6, fn)
+        """
+        assert "PET005" in rules_found(src)
+
+    def test_flags_bare_subtraction(self):
+        src = """
+        def go(sim, fn, t0, t1):
+            sim.schedule(t1 - t0, fn)
+        """
+        assert "PET005" in rules_found(src)
+
+    def test_passes_clamped_subtraction(self):
+        src = """
+        def go(sim, fn, t0, t1):
+            sim.schedule(max(t1 - t0, 0.0), fn)
+        """
+        assert "PET005" not in rules_found(src)
+
+    def test_passes_products_and_names(self):
+        src = """
+        def go(sim, fn, pkt_bytes, rate_bps, delay):
+            sim.schedule(pkt_bytes * 8.0 / rate_bps, fn)
+            sim.schedule(delay, fn)
+        """
+        assert "PET005" not in rules_found(src)
+
+
+class TestPET006MutableDefaults:
+    def test_flags_list_default(self):
+        src = """
+        def collect(items=[]):
+            return items
+        """
+        assert "PET006" in rules_found(src)
+
+    def test_flags_dict_call_default(self):
+        src = """
+        def collect(table=dict()):
+            return table
+        """
+        assert "PET006" in rules_found(src)
+
+    def test_passes_none_default(self):
+        src = """
+        def collect(items=None):
+            return items or []
+        """
+        assert "PET006" not in rules_found(src)
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses_all(self):
+        src = """
+        import time
+        def stamp():
+            return time.time()  # pet: noqa
+        """
+        assert rules_found(src) == set()
+
+    def test_rule_specific_noqa(self):
+        src = """
+        def total(qlen_bytes, limit_kb):
+            return qlen_bytes + limit_kb  # pet: noqa-PET004
+        """
+        assert "PET004" not in rules_found(src)
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        src = """
+        def total(qlen_bytes, limit_kb):
+            return qlen_bytes + limit_kb  # pet: noqa-PET001
+        """
+        assert "PET004" in rules_found(src)
+
+
+class TestViolationReporting:
+    def test_violation_carries_location_and_rule(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        (v,) = lint_source(src, SCOPED)
+        assert v.rule == "PET001"
+        assert v.line == 4
+        assert SCOPED in v.format() and "PET001" in v.format()
+
+    def test_select_filters_rules(self):
+        src = """
+        import time
+        def f(items=[]):
+            return time.time()
+        """
+        vs = lint_source(textwrap.dedent(src), SCOPED, select=["PET006"])
+        assert {v.rule for v in vs} == {"PET006"}
+
+    def test_every_rule_has_fixture_coverage(self):
+        # the classes above cover the full catalogue
+        assert set(RULES) == {"PET001", "PET002", "PET003",
+                              "PET004", "PET005", "PET006"}
+
+
+class TestCLIEntryPoint:
+    def _run(self, *args, cwd=REPO_ROOT):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", *args],
+            capture_output=True, text=True, cwd=cwd, env=env)
+
+    def test_repo_src_tree_is_clean(self):
+        proc = self._run("src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_violating_file_fails_with_rule_and_location(self, tmp_path):
+        bad = tmp_path / "netsim" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+        proc = self._run(str(bad))
+        assert proc.returncode == 1
+        assert "PET001" in proc.stdout
+        assert "bad.py:4" in proc.stdout
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for rule in RULES:
+            assert rule in proc.stdout
+
+    def test_unknown_rule_id_is_usage_error(self):
+        proc = self._run("--select", "PET999", "src")
+        assert proc.returncode == 2
+
+    def test_nonexistent_path_is_usage_error(self):
+        # Regression: a typo'd path used to exit 0 silently.
+        proc = self._run("no/such/path")
+        assert proc.returncode == 2
+        assert "no such path" in proc.stderr
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "netsim"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("def f(sim):\n    return sim.now\n")
+        (pkg / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+        vs = lint_paths([str(tmp_path)])
+        assert {v.rule for v in vs} == {"PET006"}
+
+
+@pytest.mark.parametrize("rule", sorted(RULES))
+def test_rule_catalogue_has_description(rule):
+    assert RULES[rule]

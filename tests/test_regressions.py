@@ -109,3 +109,59 @@ class TestFluidSlotRecycling:
         net.advance(5e-3)
         assert net.flow_objs[2].done
         assert net._n_flows == 1       # second flow reused the slot
+
+
+class TestUnseededFallbackRNGs:
+    """Bug (found by PET002 of repro.devtools.lint): seven components fell
+    back to ``np.random.default_rng()`` — OS entropy — when no Generator
+    was injected, so "default" simulations were silently nondeterministic.
+    The fallbacks are now seeded (``default_rng(0)``)."""
+
+    def test_topology_default_rng_is_deterministic(self):
+        from repro.netsim.engine import Simulator
+        from repro.netsim.topology import LeafSpineTopology, TopologyConfig
+
+        def marker_probe(topo):
+            # the marker RNG streams are derived from the topology rng
+            sw = topo.leaves[0]
+            m = sw.ports[0].marker
+            return [m.rng.random() for _ in range(10)]
+
+        cfg = TopologyConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2)
+        p1 = marker_probe(LeafSpineTopology(cfg, Simulator()))
+        p2 = marker_probe(LeafSpineTopology(cfg, Simulator()))
+        assert p1 == p2
+
+    def test_failure_injector_default_rng_is_deterministic(self):
+        from repro.netsim.failures import LinkFailureInjector
+        from repro.netsim.network import PacketNetwork
+        from repro.netsim.topology import TopologyConfig
+
+        def failed_set():
+            net = PacketNetwork(TopologyConfig(n_spine=2, n_leaf=4,
+                                               hosts_per_leaf=2))
+            inj = LinkFailureInjector(net)
+            return sorted(inj.fail_fraction(0.5))
+
+        assert failed_set() == failed_set()
+
+    def test_policy_and_replay_default_rngs_are_deterministic(self):
+        from repro.rl.nn import MLP
+        from repro.rl.policy import CategoricalPolicy
+        from repro.rl.replay import ReplayBuffer, Transition
+
+        obs = np.zeros(4)
+        a1 = [CategoricalPolicy(MLP([4, 8, 3])).act(obs, epsilon=0.5)[0]
+              for _ in range(20)]
+        a2 = [CategoricalPolicy(MLP([4, 8, 3])).act(obs, epsilon=0.5)[0]
+              for _ in range(20)]
+        assert a1 == a2
+
+        def sample_ids():
+            buf = ReplayBuffer(capacity=64)
+            for i in range(32):
+                buf.push(Transition(np.zeros(2), i, 0.0, np.zeros(2), False))
+            batch = buf.sample(8)
+            return [int(a) for a in np.atleast_1d(batch[1])]
+
+        assert sample_ids() == sample_ids()
