@@ -11,6 +11,8 @@
   this module.
 - :mod:`repro.analysis.report` — plain-text table rendering for the
   benchmark output.
+- :mod:`repro.analysis.resilience` — fault-log summaries and recovery
+  times for chaos runs (``python -m repro chaos``).
 """
 
 from repro.analysis.fct import FCTStats, fct_statistics, normalized_fcts
@@ -22,6 +24,8 @@ from repro.analysis.report import format_table
 from repro.analysis.timeseries import TimeSeriesRecorder
 from repro.analysis.convergence import (moving_average, recovery_time,
                                         settling_time)
+from repro.analysis.resilience import (fault_summary, first_fault_time,
+                                       quarantine_spans, recovery_after)
 from repro.analysis.sweep import SweepSpec, run_sweep, sweep_table_rows
 
 __all__ = [
@@ -30,5 +34,6 @@ __all__ = [
     "ExperimentResult", "ScenarioConfig", "build_scheme", "run_scenario",
     "format_table", "TimeSeriesRecorder",
     "moving_average", "recovery_time", "settling_time",
+    "fault_summary", "first_fault_time", "quarantine_spans", "recovery_after",
     "SweepSpec", "run_sweep", "sweep_table_rows",
 ]

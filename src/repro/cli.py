@@ -9,6 +9,10 @@ Compare PET with the DCQCN static setting at 60% Web Search load::
 Quick smoke run::
 
     python -m repro --scheme secn1 --duration 0.02 --pretrain 0
+
+Chaos/robustness benchmark (fault injection + resilience guard)::
+
+    python -m repro chaos --quick --seed 0
 """
 
 from __future__ import annotations
@@ -53,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "chaos":
+        from repro.resilience.cli import chaos_main
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.sanitize or sanitize.enabled_from_env():
         sanitize.enable()

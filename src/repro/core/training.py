@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.config import PETConfig
 from repro.core.pet import PETController
+from repro.rl.checkpoint import CheckpointManager
 
 __all__ = ["LoopResult", "run_control_loop", "pretrain_offline",
            "pretrain_offline_multi"]
@@ -33,11 +34,32 @@ class LoopResult:
     mean_reward: float
     rewards_per_switch: Dict[str, float]
     reward_trace: List[float] = field(default_factory=list)
+    #: structured fault events (:class:`repro.resilience.log.FaultEvent`)
+    #: collected from the chaos injector and/or the resilient guard.
+    faults: List = field(default_factory=list)
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faults)
+
+
+def _collect_faults(controller, chaos) -> List:
+    """Merge fault events from the injector and a guarded controller."""
+    logs = []
+    if chaos is not None and getattr(chaos, "log", None) is not None:
+        logs.append(chaos.log)
+    guard_log = getattr(controller, "log", None)
+    if guard_log is not None and all(guard_log is not lg for lg in logs):
+        logs.append(guard_log)
+    events = [e for lg in logs for e in getattr(lg, "events", [])]
+    if len(logs) > 1:
+        events.sort(key=lambda e: (e.time, e.seq, e.kind, e.switch or ""))
+    return events
 
 
 def run_control_loop(network, controller, *, intervals: int, delta_t: float,
-                     on_interval: Optional[Callable[[int, float, Dict], None]] = None
-                     ) -> LoopResult:
+                     on_interval: Optional[Callable[[int, float, Dict], None]] = None,
+                     chaos=None) -> LoopResult:
     """Drive a controller against a simulator for ``intervals`` tunings.
 
     Parameters
@@ -50,15 +72,24 @@ def run_control_loop(network, controller, *, intervals: int, delta_t: float,
     on_interval:
         Optional callback ``(interval_index, now, stats)`` for harness
         instrumentation (pattern switches, failure injection, probes).
+    chaos:
+        Optional :class:`repro.resilience.faults.ChaosInjector` — its
+        ``tick`` runs at each interval boundary, and ``filter_stats``
+        poisons the telemetry *the controller sees* (metrics and
+        ``on_interval`` keep observing the network's ground truth).  The
+        injected/handled fault events land in :attr:`LoopResult.faults`.
     """
     if intervals <= 0:
         raise ValueError("intervals must be positive")
     trace: List[float] = []
     per_switch: Dict[str, List[float]] = {}
     for i in range(intervals):
+        if chaos is not None:
+            chaos.tick(network.now)
         network.advance(delta_t)
         stats = network.queue_stats()
-        controller.decide(stats, network.now, network)
+        seen = stats if chaos is None else chaos.filter_stats(stats, network.now)
+        controller.decide(seen, network.now, network)
         util = [st.utilization for st in stats.values()]
         trace.append(float(np.mean(util)) if util else 0.0)
         for name, st in stats.items():
@@ -68,7 +99,8 @@ def run_control_loop(network, controller, *, intervals: int, delta_t: float,
     rewards = {k: float(np.mean(v)) for k, v in per_switch.items()}
     return LoopResult(intervals=intervals,
                       mean_reward=float(np.mean(trace)) if trace else 0.0,
-                      rewards_per_switch=rewards, reward_trace=trace)
+                      rewards_per_switch=rewards, reward_trace=trace,
+                      faults=_collect_faults(controller, chaos))
 
 
 def pretrain_offline(make_network: Callable[[], object],
@@ -110,7 +142,9 @@ def pretrain_offline(make_network: Callable[[], object],
 def pretrain_offline_multi(make_network: Callable[[], object],
                            config: Optional[PETConfig] = None, *,
                            episodes: int = 1, intervals_per_episode: int = 1000,
-                           seed: Optional[int] = None) -> Dict:
+                           seed: Optional[int] = None,
+                           checkpoints: Optional["CheckpointManager"] = None,
+                           checkpoint_every: int = 500) -> Dict:
     """Offline phase exporting the full per-switch model set.
 
     When the deployment fabric is the training fabric (every benchmark in
@@ -119,15 +153,41 @@ def pretrain_offline_multi(make_network: Callable[[], object],
     different observation distributions.  Returns
     ``{"switches": {...state per switch...}}`` for
     :meth:`PETController.load_state_dict`.
+
+    With a :class:`repro.rl.checkpoint.CheckpointManager`, training is
+    crash-safe: model state is checkpointed every ``checkpoint_every``
+    intervals (and at each episode end), and a fresh call first resumes
+    weights + exploration decay from the newest *uncorrupted* rotation
+    (damaged files are skipped automatically).  The simulator timeline
+    restarts — only learning state survives a crash.
     """
+    if checkpoints is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
     net = make_network()
     cfg = config or PETConfig(seed=seed)
     controller = PETController(net.switch_names(), cfg)
     controller.set_training(True)
+    done_intervals = 0
+    if checkpoints is not None:
+        resumed_step = checkpoints.restore_into(controller)
+        if resumed_step is not None:
+            controller.advance_exploration(resumed_step)
+            done_intervals = resumed_step
     for ep in range(episodes):
         if ep > 0:
             net = make_network()
             controller.reset_episode()
+        on_interval = None
+        if checkpoints is not None:
+            base = done_intervals + ep * intervals_per_episode
+
+            def on_interval(i: int, now: float, stats: Dict,
+                            _base: int = base) -> None:
+                if (i + 1) % checkpoint_every == 0:
+                    checkpoints.save(controller.state_dict(), _base + i + 1)
         run_control_loop(net, controller, intervals=intervals_per_episode,
-                         delta_t=cfg.delta_t)
+                         delta_t=cfg.delta_t, on_interval=on_interval)
+    if checkpoints is not None:
+        checkpoints.save(controller.state_dict(),
+                         done_intervals + episodes * intervals_per_episode)
     return controller.state_dict()

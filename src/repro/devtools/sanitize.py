@@ -17,7 +17,12 @@ datapath, ECN application) with O(1) invariant checks:
   ``[0, 1]`` for every marking decision;
 - **ecn-thresholds** — ``Kmin <= Kmax`` and ``0 <= Pmax <= 1`` on every
   PET/ACC/baseline action application (``SwitchNode.set_ecn_all``,
-  ``PacketNetwork.set_ecn``, ``FluidNetwork.set_ecn``).
+  ``PacketNetwork.set_ecn``, ``FluidNetwork.set_ecn``);
+- **ecn-bounds** — applied thresholds are finite and ``Kmax`` stays
+  under :data:`ECN_KMAX_CEILING_BYTES` (well above the action codec's
+  representable range), so a faulted or quarantine-recovering
+  controller can never push an absurd config onto a switch
+  (``docs/RESILIENCE.md``).
 
 Violations raise :class:`InvariantViolation` (an ``AssertionError``
 subclass, so a sanitized pytest run fails loudly) carrying the virtual
@@ -39,13 +44,19 @@ so a disabled sanitizer costs nothing on the hot path.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
-    "InvariantViolation", "SimSanitizer",
+    "InvariantViolation", "SimSanitizer", "ECN_KMAX_CEILING_BYTES",
     "enable", "disable", "is_enabled", "active", "enabled_from_env",
 ]
+
+#: ceiling for an applied ``Kmax`` (bytes).  The action codec tops out at
+#: ``alpha * 2^9 = 10.24 MB`` and switch buffers at 9 MB; anything above
+#: this is a corrupted or runaway configuration, not a tuning decision.
+ECN_KMAX_CEILING_BYTES = 128_000_000
 
 
 class InvariantViolation(AssertionError):
@@ -125,10 +136,32 @@ class SimSanitizer:
                          "qlen_bytes": qlen,
                          "dropped_pkts": c.dropped_pkts})
 
+    #: per-instance override point for the ``ecn-bounds`` ceiling.
+    ecn_kmax_ceiling_bytes: int = ECN_KMAX_CEILING_BYTES
+
     def check_ecn_config(self, config: Any, now: Optional[float] = None,
                          component: str = "ECNConfig") -> None:
-        """``Kmin <= Kmax`` and ``Pmax`` in [0, 1] for an applied action."""
+        """``Kmin <= Kmax``, ``Pmax`` in [0, 1], and absolute bounds
+        (finite, ``Kmax`` under the ceiling) for an applied action."""
         self.action_checks += 1
+        if not (math.isfinite(float(config.kmin_bytes))
+                and math.isfinite(float(config.kmax_bytes))
+                and math.isfinite(float(config.pmax))):
+            self._raise(
+                "ecn-bounds",
+                "non-finite threshold in applied ECN config",
+                time=now, component=component,
+                context={"kmin_bytes": config.kmin_bytes,
+                         "kmax_bytes": config.kmax_bytes,
+                         "pmax": config.pmax})
+        if config.kmax_bytes > self.ecn_kmax_ceiling_bytes:
+            self._raise(
+                "ecn-bounds",
+                f"Kmax ({config.kmax_bytes}) exceeds the "
+                f"{self.ecn_kmax_ceiling_bytes}-byte ceiling",
+                time=now, component=component,
+                context={"kmax_bytes": config.kmax_bytes,
+                         "ceiling_bytes": self.ecn_kmax_ceiling_bytes})
         if config.kmin_bytes < 0 or config.kmin_bytes > config.kmax_bytes:
             self._raise(
                 "ecn-thresholds",

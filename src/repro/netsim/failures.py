@@ -33,13 +33,24 @@ class LinkFailureInjector:
         return list(self.network.topology.fabric_ports)
 
     def fail_fraction(self, fraction: float) -> List[Tuple[str, int]]:
-        """Immediately take down ``fraction`` of fabric ports."""
+        """Immediately take down ``fraction`` of fabric ports.
+
+        Idempotent under repetition: only currently-up ports are
+        candidates, so repeated calls (link flapping, overlapping chaos
+        events) never double-fail a port or duplicate entries in
+        :attr:`failed`.  The fraction is of *all* fabric ports, capped
+        by how many are still up.
+        """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
-        ports = self._ports()
-        n = max(1, int(round(fraction * len(ports))))
-        chosen_idx = self.rng.choice(len(ports), size=n, replace=False)
-        chosen = [ports[i] for i in np.atleast_1d(chosen_idx)]
+        all_ports = self._ports()
+        up_ports = [(sw_name, port_idx) for sw_name, port_idx in all_ports
+                    if self.network.topology.node(sw_name).ports[port_idx].up]
+        if not up_ports:
+            return []
+        n = min(max(1, int(round(fraction * len(all_ports)))), len(up_ports))
+        chosen_idx = self.rng.choice(len(up_ports), size=n, replace=False)
+        chosen = [up_ports[i] for i in np.atleast_1d(chosen_idx)]
         for sw_name, port_idx in chosen:
             sw = self.network.topology.node(sw_name)
             sw.ports[port_idx].set_up(False)
@@ -47,13 +58,19 @@ class LinkFailureInjector:
         return chosen
 
     def restore_all(self) -> int:
-        """Bring every previously failed port back up."""
-        count = len(self.failed)
+        """Bring every previously failed port back up.
+
+        Safe to call repeatedly: the failed list is drained on the first
+        call, so a second call is a no-op returning 0.
+        """
+        restored = 0
         for sw_name, port_idx in self.failed:
-            sw = self.network.topology.node(sw_name)
-            sw.ports[port_idx].set_up(True)
+            port = self.network.topology.node(sw_name).ports[port_idx]
+            if not port.up:
+                port.set_up(True)
+                restored += 1
         self.failed.clear()
-        return count
+        return restored
 
     def schedule_episode(self, fail_at: float, restore_at: float,
                          fraction: float = 0.10) -> None:

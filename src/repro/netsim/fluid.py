@@ -125,6 +125,8 @@ class FluidNetwork:
         self.spine_up = np.ones(cfg.n_spine, dtype=bool)
         # per-(leaf,spine) uplink health for fine-grained failures
         self.uplink_up = np.ones((cfg.n_leaf, cfg.n_spine), dtype=bool)
+        # uniform fabric capacity scale (chaos degradation faults)
+        self.fabric_capacity_factor = 1.0
 
         # ---- flow arrays (grow-on-demand) ---------------------------------
         self._cap_flows = 1024
@@ -495,12 +497,25 @@ class FluidNetwork:
         self.uplink_up[:] = True
         self._apply_link_state()
 
+    def set_fabric_capacity_factor(self, factor: float) -> None:
+        """Uniformly scale fabric (leaf↔spine) link capacity.
+
+        Models partial degradation (FEC retrain, lane failure, chaos
+        ``degrade`` faults): ``factor=0.5`` halves every fabric link;
+        ``factor=1.0`` restores nominal capacity.  Recomputed from the
+        nominal rates, so repeated calls do not accumulate error.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("capacity factor must be in (0, 1]")
+        self.fabric_capacity_factor = float(factor)
+        self._apply_link_state()
+
     def _apply_link_state(self) -> None:
         cfg = self.config
         for j in range(cfg.n_leaf):
             for s in range(cfg.n_spine):
                 alive = self.uplink_up[j, s]
-                factor = 1.0 if alive else 1e-6
+                factor = (self.fabric_capacity_factor if alive else 1e-6)
                 qu = self._lu0 + j * cfg.n_spine + s
                 qd = self._sd0 + s * cfg.n_leaf + j
                 self.q_cap[qu] = self.q_cap_nominal[qu] * factor

@@ -1,0 +1,151 @@
+"""``python -m repro chaos`` — the chaos/robustness benchmark.
+
+Runs the paper's Fig. 7 link-failure scenario (``--matrix fig7``) or the
+extended fault matrix (``--matrix extended``: link failure + capacity
+degradation + telemetry blackout + observation corruption + agent crash
++ unreliable ECN application) against one or more schemes, with the
+graceful-degradation guard wrapped around each controller (disable with
+``--no-guard`` to watch a run die), and reports:
+
+- the full structured fault log (injections and guard reactions),
+- per-scheme recovery time after the first disruptive fault,
+- final metrics (mean utilization, mean queue) printed at full
+  precision — two runs with the same ``--seed`` must produce *identical*
+  fault logs and metrics (the determinism acceptance check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.experiments import (SCHEMES, ScenarioConfig,
+                                        _load_traffic, build_scheme)
+from repro.analysis.resilience import (fault_summary, first_fault_time,
+                                       recovery_after)
+from repro.core.training import LoopResult, run_control_loop
+from repro.netsim.fluid import FluidConfig, FluidNetwork
+from repro.resilience.faults import ChaosInjector, FaultPlan
+from repro.resilience.guard import ResilientController
+from repro.resilience.log import FaultLog
+
+__all__ = ["chaos_main", "build_chaos_parser", "run_chaos_scenario"]
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="chaos fault-injection benchmark (Fig. 7 + extended "
+                    "fault matrix) with the resilience guard")
+    p.add_argument("--scheme", nargs="+", default=["pet", "secn1"],
+                   choices=list(SCHEMES), help="schemes to compare")
+    p.add_argument("--matrix", default="extended",
+                   choices=["fig7", "extended"],
+                   help="fault set: the paper's link-failure episode, or "
+                        "the full extended matrix")
+    p.add_argument("--workload", default="websearch",
+                   choices=["websearch", "datamining"])
+    p.add_argument("--load", type=float, default=0.6)
+    p.add_argument("--duration", type=float, default=0.1,
+                   help="seconds of virtual time under chaos")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-guard", action="store_true",
+                   help="run WITHOUT the ResilientController wrapper "
+                        "(agent-crash faults then abort the run)")
+    p.add_argument("--quick", action="store_true",
+                   help="small fabric + short horizon (CI smoke)")
+    p.add_argument("--hosts-per-leaf", type=int, default=8)
+    p.add_argument("--leaves", type=int, default=4)
+    p.add_argument("--spines", type=int, default=2)
+    return p
+
+
+def _build_plan(matrix: str, duration: float,
+                switches: List[str]) -> FaultPlan:
+    if matrix == "fig7":
+        return FaultPlan.fig7(duration)
+    return FaultPlan.extended(duration, switches)
+
+
+def run_chaos_scenario(scheme: str, cfg: ScenarioConfig, matrix: str, *,
+                       guard: bool = True
+                       ) -> Tuple[LoopResult, FaultLog, Optional[int]]:
+    """One scheme through one chaos scenario.
+
+    Returns the loop result, the merged fault log (shared between the
+    injector and the guard, so it reads as one cause→reaction timeline),
+    and the recovery time (intervals) after the first disruptive fault.
+    """
+    net = FluidNetwork(cfg.fluid, seed=cfg.seed)
+    _load_traffic(net, cfg, cfg.seed + 1)
+    controller = build_scheme(scheme, net.switch_names(), seed=cfg.seed)
+    controller.set_training(True)
+
+    log = FaultLog()
+    plan = _build_plan(matrix, cfg.duration, net.switch_names())
+    chaos = ChaosInjector(net, plan,
+                          rng=np.random.default_rng(cfg.seed), log=log)
+    wrapped = chaos.wrap(controller)
+    driven = (ResilientController(wrapped, net.switch_names(), log=log)
+              if guard else wrapped)
+    chaos.arm()
+    try:
+        intervals = max(int(round(cfg.duration / cfg.delta_t)), 1)
+        result = run_control_loop(net, driven, intervals=intervals,
+                                  delta_t=cfg.delta_t, chaos=chaos)
+    finally:
+        chaos.disarm()
+    fault_t = first_fault_time(log.events)
+    recovery = (recovery_after(result.reward_trace, fault_t, cfg.delta_t)
+                if fault_t is not None else None)
+    return result, log, recovery
+
+
+def chaos_main(argv: Optional[List[str]] = None) -> int:
+    args = build_chaos_parser().parse_args(argv)
+    if args.quick:
+        fabric = FluidConfig(n_spine=2, n_leaf=2, hosts_per_leaf=2,
+                             host_rate_bps=10e9, spine_rate_bps=40e9)
+        duration = min(args.duration, 0.05)
+    else:
+        fabric = FluidConfig(n_spine=args.spines, n_leaf=args.leaves,
+                             hosts_per_leaf=args.hosts_per_leaf,
+                             host_rate_bps=10e9, spine_rate_bps=40e9)
+        duration = args.duration
+
+    print(f"chaos matrix={args.matrix} seed={args.seed} "
+          f"guard={'off' if args.no_guard else 'on'} "
+          f"duration={duration * 1e3:.0f}ms")
+    rows: List[Tuple[str, LoopResult, FaultLog, Optional[int]]] = []
+    for scheme in args.scheme:
+        cfg = ScenarioConfig(workload=args.workload, load=args.load,
+                             duration=duration, pretrain_intervals=0,
+                             seed=args.seed, fluid=fabric)
+        print(f"running {scheme} under chaos ...", file=sys.stderr)
+        result, log, recovery = run_chaos_scenario(
+            scheme, cfg, args.matrix, guard=not args.no_guard)
+        rows.append((scheme, result, log, recovery))
+
+    for scheme, result, log, recovery in rows:
+        print(f"\n== {scheme}: fault log ==")
+        for event in log:
+            print(f"  {event}")
+        summary = " ".join(f"{k}={v}" for k, v in fault_summary(log).items())
+        print(f"  summary: {summary if summary else 'no faults'}")
+    print("\n== chaos metrics ==")
+    print(f"{'scheme':<12} {'intervals':>9} {'faults':>7} "
+          f"{'recovery':>9} {'mean_util':>12} {'mean_qlen_b':>14}")
+    for scheme, result, log, recovery in rows:
+        mean_q = (float(np.mean(list(result.rewards_per_switch.values())))
+                  if result.rewards_per_switch else 0.0)
+        rec = f"{recovery}" if recovery is not None else "-"
+        print(f"{scheme:<12} {result.intervals:>9} {result.fault_count:>7} "
+              f"{rec:>9} {result.mean_reward:>12.9f} {mean_q:>14.3f}")
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(chaos_main())

@@ -1,0 +1,83 @@
+"""Structured fault log shared by the chaos injector and the guard.
+
+Every fault *injected* (by :class:`repro.resilience.faults.ChaosInjector`)
+and every fault *handled* (by
+:class:`repro.resilience.guard.ResilientController`) is recorded as a
+:class:`FaultEvent` — virtual time, event kind, affected switch, and a
+small detail dict.  A single :class:`FaultLog` instance is typically
+shared between injector and guard so the merged sequence reads as a
+cause→reaction timeline.
+
+The log is consumed by :mod:`repro.analysis.resilience` (summaries,
+recovery times) and by the ``python -m repro chaos`` report.  Its
+:meth:`FaultLog.signature` is a pure-data fingerprint used by the
+determinism acceptance check: two seeded chaos runs must produce
+identical signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FaultEvent", "FaultLog"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected or handled fault occurrence."""
+
+    time: float                 # virtual seconds when the event was recorded
+    seq: int                    # insertion order within the owning log
+    kind: str                   # e.g. "link-down", "agent-crash", "quarantine"
+    switch: Optional[str]       # affected switch, when the fault is per-switch
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def signature(self) -> Tuple:
+        """Hashable, order-stable fingerprint (used for determinism checks)."""
+        det = tuple(sorted((k, repr(v)) for k, v in self.detail.items()))
+        return (round(self.time, 9), self.seq, self.kind, self.switch, det)
+
+    def __str__(self) -> str:
+        where = f" switch={self.switch}" if self.switch else ""
+        det = ""
+        if self.detail:
+            det = " " + " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"t={self.time:.6f} {self.kind}{where}{det}"
+
+
+class FaultLog:
+    """Append-only ordered record of fault events."""
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    def record(self, time: float, kind: str, switch: Optional[str] = None,
+               detail: Optional[Dict[str, Any]] = None) -> FaultEvent:
+        ev = FaultEvent(time=float(time), seq=len(self.events), kind=kind,
+                        switch=switch, detail=dict(detail or {}))
+        self.events.append(ev)
+        return ev
+
+    # -- queries -------------------------------------------------------------
+    def by_kind(self, kind: str) -> List[FaultEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def signature(self) -> Tuple[Tuple, ...]:
+        """Fingerprint of the whole sequence (determinism acceptance)."""
+        return tuple(e.signature() for e in self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __str__(self) -> str:
+        return "\n".join(str(e) for e in self.events)

@@ -159,6 +159,27 @@ class TestActionInvariants:
         name = net.topology.switches()[0].name
         net.set_ecn(name, ECNConfig(5_000, 200_000, 0.01))
 
+    def test_kmax_above_ceiling_raises_ecn_bounds(self):
+        net = _small_net()
+        ceiling = sanitize.ECN_KMAX_CEILING_BYTES
+        with pytest.raises(InvariantViolation) as exc:
+            net.set_ecn(net.topology.switches()[0].name,
+                        ECNConfig(1_000, ceiling + 1, 0.5))
+        assert exc.value.invariant == "ecn-bounds"
+
+    def test_non_finite_threshold_raises_ecn_bounds(self):
+        net = _small_net()
+        cfg = ECNConfig(1_000, 2_000, 0.5)
+        object.__setattr__(cfg, "kmax_bytes", float("nan"))
+        with pytest.raises(InvariantViolation) as exc:
+            net.set_ecn(net.topology.switches()[0].name, cfg)
+        assert exc.value.invariant == "ecn-bounds"
+
+    def test_kmax_at_ceiling_passes(self):
+        net = _small_net()
+        net.set_ecn(net.topology.switches()[0].name,
+                    ECNConfig(5_000, sanitize.ECN_KMAX_CEILING_BYTES, 0.01))
+
 
 class TestEngineInvariants:
     def test_normal_run_checks_every_event(self):

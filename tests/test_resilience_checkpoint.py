@@ -1,0 +1,204 @@
+"""Crash-safety tests for checkpoint format v2 and the rotation manager."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import PETConfig
+from repro.core.training import pretrain_offline_multi
+from repro.netsim.fluid import FluidConfig, FluidNetwork
+from repro.rl.checkpoint import (CHECKPOINT_VERSION, CheckpointCorruptError,
+                                 CheckpointError, CheckpointManager,
+                                 load_checkpoint, save_checkpoint)
+
+
+def mk_state(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"actor": {"w": rng.normal(size=(4, 3)), "b": rng.normal(size=3)},
+            "critic": {"w": rng.normal(size=(4, 1))},
+            "step": np.asarray(seed)}
+
+
+class TestSuffixNormalization:
+    def test_save_without_suffix_writes_npz(self, tmp_path):
+        final = save_checkpoint(str(tmp_path / "ckpt"), mk_state())
+        assert final.endswith("ckpt.npz")
+        assert os.path.exists(final)
+
+    def test_load_without_suffix_finds_file(self, tmp_path):
+        save_checkpoint(str(tmp_path / "ckpt.npz"), mk_state(3))
+        loaded = load_checkpoint(str(tmp_path / "ckpt"))
+        assert int(loaded["step"]) == 3
+
+    def test_save_load_agree_on_bare_path(self, tmp_path):
+        """The satellite fix: save('x') then load('x') round-trips."""
+        bare = str(tmp_path / "model")
+        save_checkpoint(bare, mk_state(7))
+        loaded = load_checkpoint(bare)
+        np.testing.assert_allclose(loaded["actor"]["w"],
+                                   mk_state(7)["actor"]["w"])
+
+    def test_missing_file_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(str(tmp_path / "nope"))
+
+
+class TestAtomicity:
+    def test_no_tmp_leftover_after_save(self, tmp_path):
+        save_checkpoint(str(tmp_path / "a.npz"), mk_state())
+        assert sorted(os.listdir(tmp_path)) == ["a.npz"]
+
+    def test_overwrite_keeps_single_file(self, tmp_path):
+        path = str(tmp_path / "a.npz")
+        save_checkpoint(path, mk_state(0))
+        save_checkpoint(path, mk_state(1))
+        assert sorted(os.listdir(tmp_path)) == ["a.npz"]
+        assert int(load_checkpoint(path)["step"]) == 1
+
+    def test_reserved_meta_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(str(tmp_path / "a.npz"),
+                            {"__meta__": {"x": np.zeros(1)}})
+
+
+class TestCorruptionDetection:
+    def test_truncated_file(self, tmp_path):
+        path = save_checkpoint(str(tmp_path / "a.npz"), mk_state())
+        data = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(data[:len(data) // 2])
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_flipped_byte_in_tensor_data(self, tmp_path):
+        state = mk_state()
+        path = save_checkpoint(str(tmp_path / "a.npz"), state)
+        data = bytearray(open(path, "rb").read())
+        # npz members are stored uncompressed, so the raw tensor bytes
+        # appear verbatim in the archive — flip one of them.
+        needle = np.ascontiguousarray(state["actor"]["w"]).tobytes()
+        at = bytes(data).index(needle)
+        data[at + 8] ^= 0xFF
+        with open(path, "wb") as f:
+            f.write(bytes(data))
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "a.npz")
+        open(path, "wb").close()
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_archive_without_tensors(self, tmp_path):
+        path = str(tmp_path / "a.npz")
+        np.savez(path, **{"__meta__/version": np.asarray(2)})
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_checksum_mismatch(self, tmp_path):
+        path = str(tmp_path / "a.npz")
+        np.savez(path, **{"w": np.ones(3),
+                          "__meta__/version": np.asarray(CHECKPOINT_VERSION),
+                          "__meta__/checksum": np.asarray("0" * 64)})
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+        # and verify=False skips the digest comparison
+        loaded = load_checkpoint(path, verify=False)
+        np.testing.assert_allclose(loaded["w"], np.ones(3))
+
+    def test_corrupt_is_checkpoint_error(self):
+        assert issubclass(CheckpointCorruptError, CheckpointError)
+
+
+class TestV1Compat:
+    def test_plain_npz_still_loads(self, tmp_path):
+        """v1 archives carry no __meta__ entries; they must keep loading."""
+        path = str(tmp_path / "v1.npz")
+        np.savez(path, **{"actor/w": np.arange(6.0), "critic/w": np.ones(2)})
+        loaded = load_checkpoint(path)
+        np.testing.assert_allclose(loaded["actor"]["w"], np.arange(6.0))
+
+
+class TestCheckpointManager:
+    def test_rotation_prunes_beyond_keep(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), keep=3)
+        for step in range(1, 6):
+            mgr.save(mk_state(step), step)
+        steps = [s for s, _ in mgr.checkpoints()]
+        assert steps == [3, 4, 5]
+        assert mgr.latest_step() == 5
+
+    def test_load_latest_roundtrip(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), keep=2)
+        mgr.save(mk_state(1), 10)
+        mgr.save(mk_state(2), 20)
+        state, step = mgr.load_latest()
+        assert step == 20
+        assert int(state["step"]) == 2
+
+    def test_load_latest_skips_corrupted_newest(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), keep=3)
+        mgr.save(mk_state(1), 1)
+        newest = mgr.save(mk_state(2), 2)
+        with open(newest, "wb") as f:
+            f.write(b"not a zip archive")
+        state, step = mgr.load_latest()
+        assert step == 1
+        assert int(state["step"]) == 1
+        assert len(mgr.skipped) == 1 and "ckpt-00000002" in mgr.skipped[0]
+
+    def test_load_latest_empty_directory(self, tmp_path):
+        assert CheckpointManager(str(tmp_path)).load_latest() is None
+        assert CheckpointManager(str(tmp_path)).latest_step() is None
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), keep=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), prefix="a/b")
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path)).save(mk_state(), -1)
+
+    def test_foreign_files_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hi")
+        (tmp_path / "other-00000001.npz").write_bytes(b"x")
+        mgr = CheckpointManager(str(tmp_path))
+        assert mgr.checkpoints() == []
+
+
+class TestCheckpointedPretraining:
+    def _make_network(self):
+        cfg = FluidConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2,
+                          host_rate_bps=10e9, spine_rate_bps=40e9)
+        return FluidNetwork(cfg, seed=0)
+
+    def test_pretrain_writes_rotations_and_resumes(self, tmp_path):
+        pet = PETConfig(seed=0)
+        mgr = CheckpointManager(str(tmp_path), keep=3)
+        pretrain_offline_multi(self._make_network, pet, episodes=1,
+                               intervals_per_episode=20,
+                               checkpoints=mgr, checkpoint_every=10)
+        assert mgr.latest_step() == 20
+
+        # damage the newest rotation: resume must fall back to the
+        # previous good one instead of dying on the corrupt file.
+        newest = mgr.checkpoints()[-1][1]
+        with open(newest, "wb") as f:
+            f.write(b"garbage")
+        mgr2 = CheckpointManager(str(tmp_path), keep=3)
+        state = pretrain_offline_multi(self._make_network, pet, episodes=1,
+                                       intervals_per_episode=10,
+                                       checkpoints=mgr2, checkpoint_every=10)
+        assert mgr2.skipped            # the damaged file was noticed
+        assert "leaf0" in state
+        # resumed from step 10, trained 10 more -> final rotation at 20
+        assert mgr2.latest_step() == 20
+
+    def test_checkpoint_every_validated(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path))
+        with pytest.raises(ValueError):
+            pretrain_offline_multi(self._make_network, PETConfig(seed=0),
+                                   intervals_per_episode=5,
+                                   checkpoints=mgr, checkpoint_every=0)
