@@ -19,21 +19,24 @@ from repro.analysis.fct import FCTStats, fct_statistics, normalized_fcts
 from repro.analysis.queues import QueueLengthStats, queue_length_statistics, \
     latency_statistics
 from repro.analysis.experiments import (ExperimentResult, ScenarioConfig,
-                                        build_scheme, run_scenario)
+                                        build_scheme, run_scenario,
+                                        run_scenario_grid)
 from repro.analysis.report import format_table
 from repro.analysis.timeseries import TimeSeriesRecorder
 from repro.analysis.convergence import (moving_average, recovery_time,
                                         settling_time)
 from repro.analysis.resilience import (fault_summary, first_fault_time,
                                        quarantine_spans, recovery_after)
-from repro.analysis.sweep import SweepSpec, run_sweep, sweep_table_rows
+from repro.analysis.sweep import (SweepSpec, run_sweep,
+                                  run_sweep_report, sweep_table_rows)
 
 __all__ = [
     "FCTStats", "fct_statistics", "normalized_fcts",
     "QueueLengthStats", "queue_length_statistics", "latency_statistics",
     "ExperimentResult", "ScenarioConfig", "build_scheme", "run_scenario",
+    "run_scenario_grid",
     "format_table", "TimeSeriesRecorder",
     "moving_average", "recovery_time", "settling_time",
     "fault_summary", "first_fault_time", "quarantine_spans", "recovery_after",
-    "SweepSpec", "run_sweep", "sweep_table_rows",
+    "SweepSpec", "run_sweep", "run_sweep_report", "sweep_table_rows",
 ]

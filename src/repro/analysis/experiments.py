@@ -38,7 +38,7 @@ from repro.traffic.incast import IncastConfig, IncastGenerator
 from repro.traffic.workloads import workload_by_name
 
 __all__ = ["ScenarioConfig", "ExperimentResult", "build_scheme",
-           "run_scenario", "SCHEMES"]
+           "run_scenario", "run_scenario_grid", "SCHEMES"]
 
 SCHEMES = ("pet", "pet_ablated", "acc", "secn1", "secn2", "amt", "qaecn")
 
@@ -323,3 +323,24 @@ def run_scenario(scheme: str, cfg: Optional[ScenarioConfig] = None, *,
         mean_utilization=float(np.mean(utils)) if utils else 0.0,
         flows_finished=len(net.finished_flows), flows_total=n_flows,
         queue_samples=queue_samples, extra=extra)
+
+
+# --------------------------------------------------------------- grid fan-out
+def run_scenario_grid(jobs: List, *, workers: int = 1,
+                      engine=None) -> List[ExperimentResult]:
+    """Run many independent ``(scheme, ScenarioConfig)`` jobs, optionally
+    across worker processes.
+
+    The figure-matrix analogue of :func:`repro.analysis.sweep.run_sweep`:
+    each job is one :class:`repro.parallel.TaskSpec` executed by the
+    rollout engine, results return in job order (the engine's ordered
+    merge), and a job whose worker dies is retried once before being
+    surfaced as a structured failure.  Serial runs (``workers=1``) share
+    the in-process pretraining cache; parallel workers each pay their
+    own pretraining (documented trade — see docs/PARALLEL.md).
+    """
+    from repro.parallel.engine import Engine, TaskSpec
+    eng = engine if engine is not None else Engine(workers=workers)
+    specs = [TaskSpec(task_id=i, fn=run_scenario, args=(scheme, cfg))
+             for i, (scheme, cfg) in enumerate(jobs)]
+    return eng.run(specs).values()

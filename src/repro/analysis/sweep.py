@@ -3,9 +3,14 @@
 The evaluation grids of the paper (Figs. 4, 5, 8) are embarrassingly
 parallel: every cell is an independent simulation.  ``run_sweep``
 executes a grid either serially (sharing the in-process pretraining
-cache) or across worker processes (each worker pays its own training,
-but wall-clock scales with cores — the right trade for wide grids on
-many-core machines).
+cache) or across worker processes through the
+:class:`repro.parallel.Engine` (each worker pays its own training, but
+wall-clock scales with cores — the right trade for wide grids on
+many-core machines).  Cells always come back in grid order — the
+engine's ordered merge makes parallel output element-for-element
+identical to the serial run — and a cell that dies in a worker is
+retried once, then surfaced as a structured
+:class:`repro.parallel.TaskFailure` instead of hanging the grid.
 
 Results come back as flat records ready for
 :func:`repro.analysis.report.format_table`.
@@ -13,14 +18,15 @@ Results come back as flat records ready for
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import ScenarioConfig, run_scenario
+from repro.parallel.engine import Engine, EngineReport, TaskSpec
 
-__all__ = ["SweepSpec", "SweepCell", "run_sweep", "sweep_table_rows"]
+__all__ = ["SweepSpec", "SweepCell", "run_sweep", "run_sweep_report",
+           "sweep_table_rows"]
 
 
 @dataclass(frozen=True)
@@ -56,9 +62,26 @@ def _run_cell(args) -> SweepCell:
                      metrics=result.summary_row())
 
 
+def run_sweep_report(spec: SweepSpec, base: Optional[ScenarioConfig] = None, *,
+                     workers: int = 1, engine: Optional[Engine] = None
+                     ) -> EngineReport:
+    """Run the grid through the rollout engine; returns the full report.
+
+    The report carries per-task wall times and structured failures on
+    top of the cell values — ``python -m repro bench`` uses it for the
+    per-stage breakdown.  Task ids follow :meth:`SweepSpec.cells` order.
+    """
+    base = base or ScenarioConfig()
+    eng = engine if engine is not None else Engine(workers=workers)
+    specs = [TaskSpec(task_id=i, fn=_run_cell, args=((s, l, w, base),))
+             for i, (s, l, w) in enumerate(spec.cells())]
+    return eng.run(specs)
+
+
 def run_sweep(spec: SweepSpec, base: Optional[ScenarioConfig] = None, *,
-              workers: int = 1) -> List[SweepCell]:
-    """Run every cell of the grid.
+              workers: int = 1, engine: Optional[Engine] = None
+              ) -> List[SweepCell]:
+    """Run every cell of the grid; cells return in grid order.
 
     Parameters
     ----------
@@ -68,14 +91,19 @@ def run_sweep(spec: SweepSpec, base: Optional[ScenarioConfig] = None, *,
         Template scenario; load/workload are substituted per cell.
     workers:
         1 = serial in-process (pretraining cache shared across cells);
-        >1 = a :class:`ProcessPoolExecutor` with that many workers.
+        >1 = a :class:`repro.parallel.Engine` process pool of that size.
+    engine:
+        Pre-configured engine to use instead of ``workers`` (custom
+        retry policy, queue depth, mp context).
+
+    Raises
+    ------
+    repro.parallel.TaskFailedError
+        When any cell failed (after the engine's crash-retry); the
+        exception lists every structured failure.
     """
-    base = base or ScenarioConfig()
-    jobs = [(s, l, w, base) for (s, l, w) in spec.cells()]
-    if workers <= 1:
-        return [_run_cell(j) for j in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_cell, jobs))
+    return run_sweep_report(spec, base, workers=workers,
+                            engine=engine).values()
 
 
 def sweep_table_rows(cells: Sequence[SweepCell],

@@ -13,6 +13,12 @@ Quick smoke run::
 Chaos/robustness benchmark (fault injection + resilience guard)::
 
     python -m repro chaos --quick --seed 0
+
+Fan the scheme comparison across worker processes, and benchmark the
+parallel rollout engine itself (docs/PARALLEL.md)::
+
+    python -m repro --scheme pet secn1 secn2 --workers 3
+    python -m repro bench --quick --workers 2
 """
 
 from __future__ import annotations
@@ -53,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sanitize", action="store_true",
                    help="enable the runtime invariant sanitizer "
                         "(repro.devtools.sanitize) for this run")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the scheme fan-out "
+                        "(1 = serial in-process)")
     return p
 
 
@@ -61,6 +70,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "chaos":
         from repro.resilience.cli import chaos_main
         return chaos_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.parallel.perfbench import bench_main
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.sanitize or sanitize.enabled_from_env():
         sanitize.enable()
@@ -73,12 +85,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                          incast=not args.no_incast, seed=args.seed,
                          fluid=fabric)
     rows = {}
-    for scheme in args.scheme:
-        print(f"running {scheme} "
-              f"({args.workload} @ {args.load:.0%}, "
-              f"{args.duration * 1e3:.0f} ms) ...", file=sys.stderr)
-        r = run_scenario(scheme, cfg)
-        rows[scheme] = r.summary_row()
+    if args.workers > 1 and len(args.scheme) > 1:
+        from repro.analysis.experiments import run_scenario_grid
+        print(f"running {len(args.scheme)} schemes across "
+              f"{args.workers} workers ...", file=sys.stderr)
+        results = run_scenario_grid([(s, cfg) for s in args.scheme],
+                                    workers=args.workers)
+        for scheme, r in zip(args.scheme, results):
+            rows[scheme] = r.summary_row()
+    else:
+        for scheme in args.scheme:
+            print(f"running {scheme} "
+                  f"({args.workload} @ {args.load:.0%}, "
+                  f"{args.duration * 1e3:.0f} ms) ...", file=sys.stderr)
+            r = run_scenario(scheme, cfg)
+            rows[scheme] = r.summary_row()
     print()
     print(format_result_rows(rows, [
         "overall_avg_fct", "mice_avg_fct", "mice_p99_fct",

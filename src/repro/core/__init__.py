@@ -26,12 +26,14 @@ from repro.core.ncm import NetworkConditionMonitor
 from repro.core.ecn_cm import ECNConfigModule
 from repro.core.pet import PETController
 from repro.core.multiqueue import MultiQueuePETController
-from repro.core.training import (pretrain_offline, pretrain_offline_multi,
-                                 run_control_loop)
+from repro.core.training import (SeedRunResult, pretrain_multi_seed,
+                                 pretrain_offline, pretrain_offline_multi,
+                                 pretrain_one_seed, run_control_loop)
 
 __all__ = [
     "PETConfig", "ActionCodec", "StateBuilder", "HistoryWindow",
     "StateFeatures", "RewardComputer", "NetworkConditionMonitor",
     "ECNConfigModule", "PETController", "MultiQueuePETController",
     "pretrain_offline", "pretrain_offline_multi", "run_control_loop",
+    "SeedRunResult", "pretrain_one_seed", "pretrain_multi_seed",
 ]

@@ -13,17 +13,20 @@ initial model that deployment installs on every switch
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import PETConfig
 from repro.core.pet import PETController
+from repro.parallel.seeding import current_task_seed, derive_seed
 from repro.rl.checkpoint import CheckpointManager
 
 __all__ = ["LoopResult", "run_control_loop", "pretrain_offline",
-           "pretrain_offline_multi"]
+           "pretrain_offline_multi", "SeedRunResult", "pretrain_one_seed",
+           "pretrain_multi_seed"]
 
 
 @dataclass
@@ -117,7 +120,7 @@ def pretrain_offline(make_network: Callable[[], object],
     :meth:`PETController.install_pretrained`.
     """
     net = make_network()
-    cfg = config or PETConfig(seed=seed)
+    cfg = _resolve_config(config, seed)
     controller = PETController(net.switch_names(), cfg)
     controller.set_training(True)
     for ep in range(episodes):
@@ -137,6 +140,56 @@ def pretrain_offline(make_network: Callable[[], object],
     pool = informative or controller.switches
     best = max(pool, key=lambda s: controller.mean_recent_reward(s))
     return controller.trainer.agents[best].state_dict()
+
+
+def _resolve_config(config: Optional[PETConfig],
+                    seed: Optional[int]) -> PETConfig:
+    """Build/patch the training config, deriving a seed when none given.
+
+    A seed-less training call inside an engine task adopts the task's
+    spawn-key-derived seed (:func:`repro.parallel.seeding.current_task_seed`)
+    instead of leaving ``seed=None`` — which would cascade into the
+    shared ``default_rng(0)`` fallbacks and silently correlate every
+    forked worker.  Outside an engine task, behaviour is unchanged.
+    """
+    if seed is None:
+        seed = current_task_seed()
+    if config is None:
+        return PETConfig(seed=seed)
+    if config.seed is None and seed is not None:
+        return replace(config, seed=seed)
+    return config
+
+
+def _run_training_episodes(controller: PETController,
+                           make_network: Callable[[], object],
+                           first_net, *, episodes: int,
+                           intervals_per_episode: int, delta_t: float,
+                           checkpoints: Optional["CheckpointManager"] = None,
+                           checkpoint_every: int = 500,
+                           done_intervals: int = 0) -> List[LoopResult]:
+    """Drive ``episodes`` training episodes; returns one LoopResult each."""
+    results: List[LoopResult] = []
+    net = first_net
+    for ep in range(episodes):
+        if ep > 0:
+            net = make_network()
+            controller.reset_episode()
+        on_interval = None
+        if checkpoints is not None:
+            base = done_intervals + ep * intervals_per_episode
+
+            def on_interval(i: int, now: float, stats: Dict,
+                            _base: int = base) -> None:
+                if (i + 1) % checkpoint_every == 0:
+                    checkpoints.save(controller.state_dict(), _base + i + 1)
+        results.append(run_control_loop(
+            net, controller, intervals=intervals_per_episode,
+            delta_t=delta_t, on_interval=on_interval))
+    if checkpoints is not None:
+        checkpoints.save(controller.state_dict(),
+                         done_intervals + episodes * intervals_per_episode)
+    return results
 
 
 def pretrain_offline_multi(make_network: Callable[[], object],
@@ -160,11 +213,15 @@ def pretrain_offline_multi(make_network: Callable[[], object],
     weights + exploration decay from the newest *uncorrupted* rotation
     (damaged files are skipped automatically).  The simulator timeline
     restarts — only learning state survives a crash.
+
+    When called without a seed inside a :class:`repro.parallel.Engine`
+    task, the task's spawn-key-derived seed is adopted (see
+    :func:`_resolve_config`).
     """
     if checkpoints is not None and checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
     net = make_network()
-    cfg = config or PETConfig(seed=seed)
+    cfg = _resolve_config(config, seed)
     controller = PETController(net.switch_names(), cfg)
     controller.set_training(True)
     done_intervals = 0
@@ -173,21 +230,102 @@ def pretrain_offline_multi(make_network: Callable[[], object],
         if resumed_step is not None:
             controller.advance_exploration(resumed_step)
             done_intervals = resumed_step
-    for ep in range(episodes):
-        if ep > 0:
-            net = make_network()
-            controller.reset_episode()
-        on_interval = None
-        if checkpoints is not None:
-            base = done_intervals + ep * intervals_per_episode
-
-            def on_interval(i: int, now: float, stats: Dict,
-                            _base: int = base) -> None:
-                if (i + 1) % checkpoint_every == 0:
-                    checkpoints.save(controller.state_dict(), _base + i + 1)
-        run_control_loop(net, controller, intervals=intervals_per_episode,
-                         delta_t=cfg.delta_t, on_interval=on_interval)
-    if checkpoints is not None:
-        checkpoints.save(controller.state_dict(),
-                         done_intervals + episodes * intervals_per_episode)
+    _run_training_episodes(controller, make_network, net, episodes=episodes,
+                           intervals_per_episode=intervals_per_episode,
+                           delta_t=cfg.delta_t, checkpoints=checkpoints,
+                           checkpoint_every=checkpoint_every,
+                           done_intervals=done_intervals)
     return controller.state_dict()
+
+
+# --------------------------------------------------------------- multi-seed
+@dataclass
+class SeedRunResult:
+    """One seed's offline training run (picklable across workers)."""
+
+    seed: int
+    state: Dict
+    episodes: List[LoopResult] = field(default_factory=list)
+
+    @property
+    def reward_trace(self) -> List[float]:
+        """Per-interval mean-utilization trace, episodes concatenated."""
+        return [x for ep in self.episodes for x in ep.reward_trace]
+
+    @property
+    def mean_reward(self) -> float:
+        trace = self.reward_trace
+        return float(np.mean(trace)) if trace else 0.0
+
+
+def pretrain_one_seed(make_network: Callable[[int], object],
+                      config: Optional[PETConfig] = None, *,
+                      seed: int, episodes: int = 1,
+                      intervals_per_episode: int = 1000,
+                      checkpoint_dir: Optional[str] = None,
+                      checkpoint_every: int = 500,
+                      checkpoint_keep: int = 3) -> SeedRunResult:
+    """One seed's offline training rollout (an engine task body).
+
+    ``make_network(seed)`` must build a fresh traffic-loaded simulator —
+    and must be picklable (module-level function or a
+    :func:`functools.partial` over one) so the rollout can execute in a
+    worker process.  With ``checkpoint_dir``, checkpoints rotate inside
+    a per-seed subdirectory (``seed-{seed:08d}/``), so concurrent
+    workers never contend for the same rotation.
+    """
+    cfg = _resolve_config(config, seed)
+    if cfg.seed != seed:
+        cfg = replace(cfg, seed=seed)
+    net = make_network(seed)
+    controller = PETController(net.switch_names(), cfg)
+    controller.set_training(True)
+    checkpoints = None
+    if checkpoint_dir is not None:
+        checkpoints = CheckpointManager(
+            os.path.join(checkpoint_dir, f"seed-{seed:08d}"),
+            keep=checkpoint_keep)
+    episodes_out = _run_training_episodes(
+        controller, lambda: make_network(seed), net, episodes=episodes,
+        intervals_per_episode=intervals_per_episode, delta_t=cfg.delta_t,
+        checkpoints=checkpoints, checkpoint_every=checkpoint_every)
+    return SeedRunResult(seed=seed, state=controller.state_dict(),
+                         episodes=episodes_out)
+
+
+def pretrain_multi_seed(make_network: Callable[[int], object],
+                        config: Optional[PETConfig] = None, *,
+                        seeds: Optional[Sequence[int]] = None,
+                        n_seeds: Optional[int] = None, seed_root: int = 0,
+                        episodes: int = 1, intervals_per_episode: int = 1000,
+                        workers: int = 1, engine=None,
+                        checkpoint_dir: Optional[str] = None,
+                        checkpoint_every: int = 500) -> List[SeedRunResult]:
+    """Fan independent per-seed offline trainings across workers.
+
+    The multi-seed analogue of :func:`pretrain_offline_multi`: each seed
+    is one :class:`repro.parallel.TaskSpec` executed by the pluggable
+    ``engine`` (default: a fresh :class:`repro.parallel.Engine` with
+    ``workers`` processes).  Seeds default to the spawn-key derivation
+    ``derive_seed(seed_root, i)``; results come back ordered by task id,
+    so ``workers=1`` and ``workers=N`` return identical lists
+    (``tests/test_determinism.py`` locks this down).
+    """
+    from repro.parallel.engine import Engine, TaskSpec
+    if seeds is None:
+        if n_seeds is None or n_seeds < 1:
+            raise ValueError("pass seeds=... or n_seeds >= 1")
+        seeds = [derive_seed(seed_root, i) for i in range(n_seeds)]
+    seeds = [int(s) for s in seeds]
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("seeds must be distinct")
+    eng = engine if engine is not None else Engine(workers=workers)
+    specs = [TaskSpec(task_id=i, fn=pretrain_one_seed,
+                      args=(make_network, config),
+                      kwargs={"seed": s, "episodes": episodes,
+                              "intervals_per_episode": intervals_per_episode,
+                              "checkpoint_dir": checkpoint_dir,
+                              "checkpoint_every": checkpoint_every},
+                      seed=s)
+             for i, s in enumerate(seeds)]
+    return eng.run(specs).values()

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.parallel.seeding import fallback_rng
+
 __all__ = ["ECNConfig", "ECNMarker"]
 
 
@@ -80,7 +82,7 @@ class ECNMarker:
 
     def __init__(self, config: ECNConfig, rng: np.random.Generator | None = None) -> None:
         self.config = config
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng(0)
         self.marks = 0
         self.decisions = 0
 

@@ -15,6 +15,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.parallel.seeding import fallback_rng
+
 from repro.netsim.network import PacketNetwork
 
 __all__ = ["LinkFailureInjector"]
@@ -26,7 +28,7 @@ class LinkFailureInjector:
     def __init__(self, network: PacketNetwork,
                  rng: Optional[np.random.Generator] = None) -> None:
         self.network = network
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng(0)
         self.failed: List[Tuple[str, int]] = []
 
     def _ports(self) -> List[Tuple[str, int]]:

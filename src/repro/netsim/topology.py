@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 import numpy as np
 
+from repro.parallel.seeding import fallback_rng
+
 from repro.netsim.ecn import ECNConfig
 from repro.netsim.ecn import SECN1 as _DEFAULT_ECN
 from repro.netsim.engine import Simulator
@@ -83,7 +85,7 @@ class LeafSpineTopology:
                  rng: Optional[np.random.Generator] = None) -> None:
         self.config = config
         self.sim = sim
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng(0)
         self.hosts: List[HostNode] = []
         self.leaves: List[SwitchNode] = []
         self.spines: List[SwitchNode] = []

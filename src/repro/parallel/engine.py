@@ -1,0 +1,370 @@
+"""Process-pool rollout engine: fan out independent simulation tasks.
+
+Every evaluation surface in this repo — multi-seed offline pretraining,
+``analysis.sweep`` grids, benchmark figure matrices — is a batch of
+*independent* rollouts, and the engine runs such a batch with four
+guarantees the figure pipeline depends on (docs/PARALLEL.md):
+
+1. **pickled run-specs** — tasks travel to workers as pickled
+   :class:`TaskSpec` records (module-level callable + args).  Specs are
+   serialized *before* submission, so an unpicklable spec fails fast
+   with a clear error instead of dying inside the pool.
+2. **deterministic seeding** — each spec carries a seed derived via
+   ``seed_root -> spawn_key(task_id)`` (:mod:`repro.parallel.seeding`);
+   the engine installs it as the task-seed context in serial and
+   parallel paths alike, so ``workers=1`` and ``workers=N`` hand every
+   task identical randomness.
+3. **ordered merging** — results are keyed by ``task_id`` and returned
+   sorted, so parallel output is element-for-element identical to the
+   serial run regardless of completion order.
+4. **crash recovery** — a task whose worker process dies (segfault,
+   OOM-kill, ``os._exit``) is retried once in an isolated single-worker
+   pool; a second death records a structured :class:`TaskFailure`
+   instead of hanging or poisoning the batch.  Ordinary exceptions are
+   captured as failures immediately (they are deterministic — retrying
+   cannot help) with the traceback preserved.
+
+In-flight submissions are bounded (``queue_depth``, default
+``2 * workers``) so a huge grid does not materialize every pending
+future at once.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from repro.parallel import seeding
+
+__all__ = ["TaskSpec", "TaskFailure", "TaskOutcome", "TaskFailedError",
+           "EngineReport", "Engine", "run_tasks", "map_tasks"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work: a picklable callable plus its arguments.
+
+    ``fn`` must be importable from the worker (module-level function or
+    a :func:`functools.partial` over one).  ``seed``, when set, is
+    installed as the task-seed context around the call — seed-less
+    components then derive their randomness from it instead of the
+    shared ``default_rng(0)`` fallback (see :mod:`repro.parallel.seeding`).
+    """
+
+    task_id: int
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Optional[Mapping[str, Any]] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError("task_id must be non-negative")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of a task that did not produce a value."""
+
+    task_id: int
+    error_type: str
+    message: str
+    attempts: int
+    worker_crashed: bool            # process death vs ordinary exception
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        kind = "worker crash" if self.worker_crashed else self.error_type
+        return (f"task {self.task_id}: {kind} after {self.attempts} "
+                f"attempt(s): {self.message}")
+
+
+@dataclass
+class TaskOutcome:
+    """Result slot for one task: a value or a structured failure."""
+
+    task_id: int
+    value: Any = None
+    failure: Optional[TaskFailure] = None
+    wall_time_s: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class TaskFailedError(RuntimeError):
+    """Raised by :meth:`EngineReport.values` when a strict batch failed."""
+
+    def __init__(self, failures: Sequence[TaskFailure]) -> None:
+        self.failures = list(failures)
+        lines = "; ".join(str(f) for f in self.failures[:5])
+        extra = ("" if len(self.failures) <= 5
+                 else f" (+{len(self.failures) - 5} more)")
+        super().__init__(f"{len(self.failures)} task(s) failed: {lines}{extra}")
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one batch, merged in task-id order."""
+
+    outcomes: List[TaskOutcome]
+    workers: int
+    wall_time_s: float
+    retries: int = 0
+
+    @property
+    def failures(self) -> List[TaskFailure]:
+        return [o.failure for o in self.outcomes if o.failure is not None]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def tasks_per_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return len(self.outcomes) / self.wall_time_s
+
+    def task_seconds(self) -> List[float]:
+        """Per-task in-worker wall times, in task-id order."""
+        return [o.wall_time_s for o in self.outcomes]
+
+    def values(self, *, strict: bool = True) -> List[Any]:
+        """Task values in task-id order.
+
+        ``strict`` (default) raises :class:`TaskFailedError` when any
+        task failed; otherwise failed slots hold ``None``.
+        """
+        if strict:
+            failures = self.failures
+            if failures:
+                raise TaskFailedError(failures)
+        return [o.value for o in self.outcomes]
+
+
+def _execute_payload(payload: bytes) -> Tuple[int, Any, float]:
+    """Worker-side entry: unpickle one spec, run it under its task seed."""
+    spec: TaskSpec = pickle.loads(payload)
+    started = time.perf_counter()
+    with seeding.task_seed(spec.seed):
+        value = spec.fn(*spec.args, **dict(spec.kwargs or {}))
+    return spec.task_id, value, time.perf_counter() - started
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one not-yet-merged task."""
+
+    spec: TaskSpec
+    payload: bytes
+    attempts: int = 0
+
+
+class Engine:
+    """Bounded process-pool executor with deterministic merging.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs every task in-process (no pool, but identical
+        seeding/retry/failure semantics); ``>1`` fans out over that many
+        worker processes.
+    queue_depth:
+        Maximum in-flight submissions; defaults to ``2 * workers``.
+    max_retries:
+        How many times a task whose *worker died* is retried (in an
+        isolated single-task pool).  Ordinary exceptions never retry.
+    mp_context:
+        Optional :mod:`multiprocessing` context name (``"fork"``,
+        ``"spawn"``); ``None`` uses the platform default.
+    """
+
+    def __init__(self, workers: int = 1, *, queue_depth: Optional[int] = None,
+                 max_retries: int = 1, mp_context: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.workers = workers
+        self.queue_depth = queue_depth or max(2 * workers, 2)
+        self.max_retries = max_retries
+        self.mp_context = mp_context
+
+    # -- public API ---------------------------------------------------------
+    def run(self, specs: Sequence[TaskSpec]) -> EngineReport:
+        """Execute a batch and merge outcomes in task-id order."""
+        specs = list(specs)
+        ids = [s.task_id for s in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate task_id in batch")
+        started = time.perf_counter()
+        pendings = [_Pending(spec=s, payload=pickle.dumps(s)) for s in specs]
+        if self.workers == 1:
+            outcomes, retries = self._run_serial(pendings)
+        else:
+            outcomes, retries = self._run_parallel(pendings)
+        outcomes.sort(key=lambda o: o.task_id)
+        return EngineReport(outcomes=outcomes, workers=self.workers,
+                            wall_time_s=time.perf_counter() - started,
+                            retries=retries)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any], *,
+            seed_root: Optional[int] = None) -> EngineReport:
+        """Run ``fn(item)`` per item; task ids follow item order.
+
+        With ``seed_root`` set, task *i* executes under the derived seed
+        ``spawn_key(i)`` (see :func:`repro.parallel.seeding.derive_seed`).
+        """
+        specs = [TaskSpec(task_id=i, fn=fn, args=(item,),
+                          seed=(None if seed_root is None
+                                else seeding.derive_seed(seed_root, i)))
+                 for i, item in enumerate(items)]
+        return self.run(specs)
+
+    # -- serial path --------------------------------------------------------
+    def _run_serial(self, pendings: Sequence[_Pending]
+                    ) -> Tuple[List[TaskOutcome], int]:
+        outcomes = [self._attempt_inprocess(p) for p in pendings]
+        return outcomes, 0
+
+    @staticmethod
+    def _attempt_inprocess(pending: _Pending) -> TaskOutcome:
+        pending.attempts += 1
+        try:
+            task_id, value, wall = _execute_payload(pending.payload)
+        except Exception as exc:                      # deterministic: no retry
+            return TaskOutcome(
+                task_id=pending.spec.task_id,
+                failure=TaskFailure(
+                    task_id=pending.spec.task_id,
+                    error_type=type(exc).__name__, message=str(exc),
+                    attempts=pending.attempts, worker_crashed=False,
+                    traceback=traceback.format_exc()),
+                attempts=pending.attempts)
+        return TaskOutcome(task_id=task_id, value=value, wall_time_s=wall,
+                           attempts=pending.attempts)
+
+    # -- parallel path ------------------------------------------------------
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        if self.mp_context is None:
+            return ProcessPoolExecutor(max_workers=workers)
+        import multiprocessing
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(self.mp_context))
+
+    def _run_parallel(self, pendings: Sequence[_Pending]
+                      ) -> Tuple[List[TaskOutcome], int]:
+        queue = deque(pendings)
+        outcomes: List[TaskOutcome] = []
+        retries = 0
+        pool = self._new_pool(self.workers)
+        in_flight: Dict[Future, _Pending] = {}
+        try:
+            while queue or in_flight:
+                while queue and len(in_flight) < self.queue_depth:
+                    pending = queue.popleft()
+                    pending.attempts += 1
+                    in_flight[pool.submit(_execute_payload,
+                                          pending.payload)] = pending
+                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                crashed: List[_Pending] = []
+                for fut in done:
+                    pending = in_flight.pop(fut)
+                    outcome = self._classify(fut, pending)
+                    if outcome is None:
+                        crashed.append(pending)
+                    else:
+                        outcomes.append(outcome)
+                if crashed:
+                    # The pool is broken: every other in-flight future is
+                    # about to fail the same way.  Drain them, recycle the
+                    # pool, and give each affected task its isolated retry.
+                    if in_flight:
+                        wait(list(in_flight))
+                        for fut, pending in in_flight.items():
+                            outcome = self._classify(fut, pending)
+                            if outcome is None:
+                                crashed.append(pending)
+                            else:
+                                outcomes.append(outcome)
+                        in_flight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for pending in crashed:
+                        outcome, retried = self._retry_isolated(pending)
+                        retries += retried
+                        outcomes.append(outcome)
+                    pool = self._new_pool(self.workers)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes, retries
+
+    @staticmethod
+    def _classify(fut: Future, pending: _Pending) -> Optional[TaskOutcome]:
+        """Outcome for a settled future; ``None`` flags a worker crash."""
+        try:
+            task_id, value, wall = fut.result()
+        except (BrokenProcessPool, OSError):
+            return None
+        except Exception as exc:
+            return TaskOutcome(
+                task_id=pending.spec.task_id,
+                failure=TaskFailure(
+                    task_id=pending.spec.task_id,
+                    error_type=type(exc).__name__, message=str(exc),
+                    attempts=pending.attempts, worker_crashed=False,
+                    traceback=traceback.format_exc()),
+                attempts=pending.attempts)
+        return TaskOutcome(task_id=task_id, value=value, wall_time_s=wall,
+                           attempts=pending.attempts)
+
+    def _retry_isolated(self, pending: _Pending) -> Tuple[TaskOutcome, int]:
+        """Re-run a crash casualty alone so a poison task cannot take
+        innocent neighbours down with it again."""
+        retried = 0
+        while pending.attempts <= self.max_retries:
+            retried = 1
+            pending.attempts += 1
+            solo = self._new_pool(1)
+            try:
+                fut = solo.submit(_execute_payload, pending.payload)
+                wait([fut])
+                outcome = self._classify(fut, pending)
+            finally:
+                solo.shutdown(wait=False, cancel_futures=True)
+            if outcome is not None:
+                return outcome, retried
+        return TaskOutcome(
+            task_id=pending.spec.task_id,
+            failure=TaskFailure(
+                task_id=pending.spec.task_id,
+                error_type="WorkerCrash",
+                message="worker process died while executing this task",
+                attempts=pending.attempts, worker_crashed=True),
+            attempts=pending.attempts), retried
+
+
+def run_tasks(specs: Sequence[TaskSpec], *, workers: int = 1,
+              **engine_kwargs: Any) -> EngineReport:
+    """Convenience: one-shot :class:`Engine` run."""
+    return Engine(workers=workers, **engine_kwargs).run(specs)
+
+
+def map_tasks(fn: Callable[[Any], Any], items: Iterable[Any], *,
+              workers: int = 1, seed_root: Optional[int] = None,
+              **engine_kwargs: Any) -> EngineReport:
+    """Convenience: one-shot :meth:`Engine.map`."""
+    return Engine(workers=workers, **engine_kwargs).map(fn, items,
+                                                        seed_root=seed_root)

@@ -1,0 +1,299 @@
+"""``python -m repro bench`` — serial-vs-parallel performance benchmark.
+
+Times the rollout engine on the repo's three fan-out surfaces —
+
+- ``pretrain_multi``  — multi-seed offline pretraining
+  (:func:`repro.core.training.pretrain_one_seed` per task),
+- ``sweep_grid``      — an :mod:`repro.analysis.sweep` scheme×load grid,
+- ``figure_matrix``   — a scheme×seed benchmark figure matrix
+  (:func:`repro.analysis.experiments.run_scenario`) —
+
+running each workload once at ``workers=1`` and once at ``--workers N``,
+verifying that the two runs produce **identical results** (the engine's
+determinism contract: speed must never silently buy wrong numbers), and
+writing ``BENCH_parallel.json`` with wall times, speedups, tasks/sec,
+and a per-stage breakdown (spec build / serial run / parallel run /
+verification), plus the machine context (CPU count) needed to interpret
+the numbers: speedup tracks physical cores, so a 1-core container
+reports ~1x no matter how many workers it spawns.
+
+Usage::
+
+    python -m repro bench --quick --workers 2          # CI smoke
+    python -m repro bench --workers 8 --out BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import os
+import sys
+import time
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.parallel.engine import Engine, EngineReport, TaskSpec
+
+__all__ = ["run_bench", "bench_main", "build_bench_parser", "WORKLOADS"]
+
+DEFAULT_OUT = "BENCH_parallel.json"
+BENCH_SCHEMA = "repro.perfbench/v1"
+
+
+# ------------------------------------------------------------- task bodies
+def _bench_train_network(seed: int, fabric=None, duration: float = 0.1,
+                         load: float = 0.5, workload: str = "websearch"):
+    """Picklable traffic-loaded trainer fabric for ``pretrain_one_seed``."""
+    from repro.netsim.fluid import FluidConfig, FluidNetwork
+    from repro.traffic.generator import PoissonTrafficGenerator, TrafficConfig
+    from repro.traffic.workloads import workload_by_name
+
+    fabric = fabric or FluidConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2,
+                                   host_rate_bps=10e9, spine_rate_bps=40e9)
+    net = FluidNetwork(fabric, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    gen = PoissonTrafficGenerator(net.host_names(),
+                                  workload_by_name(workload), rng=rng)
+    net.start_flows(gen.generate(TrafficConfig(
+        load=load, duration=duration, host_rate_bps=fabric.host_rate_bps,
+        start_time=0.0)))
+    return net
+
+
+# ------------------------------------------------------------- spec builders
+def _tiny_fabric():
+    from repro.netsim.fluid import FluidConfig
+    return FluidConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2,
+                       host_rate_bps=10e9, spine_rate_bps=40e9)
+
+
+def _small_fabric():
+    from repro.netsim.fluid import FluidConfig
+    return FluidConfig(n_spine=2, n_leaf=2, hosts_per_leaf=4,
+                       host_rate_bps=10e9, spine_rate_bps=40e9)
+
+
+def _specs_pretrain_multi(quick: bool) -> List[TaskSpec]:
+    from repro.core.training import pretrain_one_seed
+    from repro.parallel.seeding import derive_seed
+
+    n_seeds = 4 if quick else 8
+    intervals = 80 if quick else 400
+    fabric = _tiny_fabric() if quick else _small_fabric()
+    make_network = partial(_bench_train_network, fabric=fabric,
+                           duration=intervals * 1e-3, load=0.5)
+    specs = []
+    for i in range(n_seeds):
+        seed = derive_seed(0, i)
+        specs.append(TaskSpec(
+            task_id=i, fn=pretrain_one_seed, args=(make_network, None),
+            kwargs={"seed": seed, "episodes": 1,
+                    "intervals_per_episode": intervals},
+            seed=seed))
+    return specs
+
+
+def _specs_sweep_grid(quick: bool) -> List[TaskSpec]:
+    from repro.analysis.experiments import ScenarioConfig
+    from repro.analysis.sweep import SweepSpec, _run_cell
+
+    spec = SweepSpec(schemes=("secn1", "secn2"),
+                     loads=(0.4,) if quick else (0.3, 0.5, 0.7),
+                     workloads=("websearch",))
+    base = ScenarioConfig(duration=0.02 if quick else 0.06,
+                          pretrain_intervals=0, seed=1, incast=False,
+                          fluid=_tiny_fabric())
+    return [TaskSpec(task_id=i, fn=_run_cell, args=((s, l, w, base),))
+            for i, (s, l, w) in enumerate(spec.cells())]
+
+
+def _specs_figure_matrix(quick: bool) -> List[TaskSpec]:
+    from repro.analysis.experiments import ScenarioConfig, run_scenario
+
+    schemes = ("secn1",) if quick else ("secn1", "secn2")
+    seeds = (0, 1) if quick else (0, 1, 2)
+    specs = []
+    for i, (scheme, seed) in enumerate(
+            (s, sd) for s in schemes for sd in seeds):
+        cfg = ScenarioConfig(duration=0.02 if quick else 0.06,
+                             pretrain_intervals=0, seed=seed, incast=True,
+                             incast_fan_in=2, fluid=_tiny_fabric())
+        specs.append(TaskSpec(task_id=i, fn=run_scenario,
+                              args=(scheme, cfg), seed=seed))
+    return specs
+
+
+WORKLOADS = {
+    "pretrain_multi": _specs_pretrain_multi,
+    "sweep_grid": _specs_sweep_grid,
+    "figure_matrix": _specs_figure_matrix,
+}
+
+
+# ------------------------------------------------------------- fingerprints
+def _fingerprint(value: Any) -> str:
+    """Canonical content digest for serial-vs-parallel equality checks."""
+    h = hashlib.sha256()
+    _feed(h, value)
+    return h.hexdigest()
+
+
+def _feed(h, value: Any) -> None:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        _feed(h, dataclasses.asdict(value))
+    elif isinstance(value, dict):
+        for k in sorted(value, key=repr):
+            h.update(repr(k).encode())
+            _feed(h, value[k])
+    elif isinstance(value, (list, tuple)):
+        h.update(b"[")
+        for v in value:
+            _feed(h, v)
+        h.update(b"]")
+    elif isinstance(value, np.ndarray):
+        h.update(str(value.dtype).encode())
+        h.update(repr(value.shape).encode())
+        h.update(np.ascontiguousarray(value).tobytes())
+    else:
+        h.update(repr(value).encode())
+
+
+# ------------------------------------------------------------- harness
+def _run_workload(name: str, quick: bool, workers: int) -> Dict[str, Any]:
+    build = WORKLOADS[name]
+    t0 = time.perf_counter()
+    serial_specs = build(quick)
+    parallel_specs = build(quick)
+    spec_build_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial: EngineReport = Engine(workers=1).run(serial_specs)
+    serial_run_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel: EngineReport = Engine(workers=workers).run(parallel_specs)
+    parallel_run_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    s_values = serial.values(strict=True)
+    p_values = parallel.values(strict=True)
+    results_match = _fingerprint(s_values) == _fingerprint(p_values)
+    verify_s = time.perf_counter() - t0
+
+    return {
+        "name": name,
+        "tasks": serial.n_tasks,
+        "serial": {
+            "wall_s": round(serial_run_s, 6),
+            "tasks_per_s": round(serial.n_tasks / max(serial_run_s, 1e-9), 3),
+            "task_s": [round(t, 6) for t in serial.task_seconds()],
+        },
+        "parallel": {
+            "workers": workers,
+            "wall_s": round(parallel_run_s, 6),
+            "tasks_per_s": round(parallel.n_tasks / max(parallel_run_s, 1e-9), 3),
+            "task_s": [round(t, 6) for t in parallel.task_seconds()],
+            "retries": parallel.retries,
+        },
+        "speedup": round(serial_run_s / max(parallel_run_s, 1e-9), 3),
+        "results_match": bool(results_match),
+        "stages": {
+            "spec_build_s": round(spec_build_s, 6),
+            "serial_run_s": round(serial_run_s, 6),
+            "parallel_run_s": round(parallel_run_s, 6),
+            "verify_s": round(verify_s, 6),
+        },
+    }
+
+
+def run_bench(*, workers: int = 4, quick: bool = False,
+              workloads: Optional[Sequence[str]] = None,
+              out: Optional[str] = DEFAULT_OUT) -> Dict[str, Any]:
+    """Run the serial-vs-parallel benchmark; returns (and writes) the report."""
+    if workers < 2:
+        raise ValueError("bench needs --workers >= 2 to compare against serial")
+    names = list(workloads) if workloads else list(WORKLOADS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise ValueError(f"unknown workload(s) {unknown}; "
+                         f"choose from {sorted(WORKLOADS)}")
+    results = []
+    for name in names:
+        print(f"bench: {name} (serial then {workers} workers) ...",
+              file=sys.stderr)
+        results.append(_run_workload(name, quick, workers))
+    serial_total = sum(w["serial"]["wall_s"] for w in results)
+    parallel_total = sum(w["parallel"]["wall_s"] for w in results)
+    report = {
+        "schema": BENCH_SCHEMA,
+        "quick": bool(quick),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "workloads": results,
+        "total": {
+            "serial_s": round(serial_total, 6),
+            "parallel_s": round(parallel_total, 6),
+            "speedup": round(serial_total / max(parallel_total, 1e-9), 3),
+            "all_results_match": all(w["results_match"] for w in results),
+        },
+    }
+    if out:
+        with open(out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+    return report
+
+
+def _print_report(report: Dict[str, Any]) -> None:
+    print(f"\n== bench (workers={report['workers']}, "
+          f"cpu_count={report['cpu_count']}, "
+          f"{'quick' if report['quick'] else 'full'}) ==")
+    print(f"{'workload':<16} {'tasks':>5} {'serial_s':>9} {'parallel_s':>11} "
+          f"{'speedup':>8} {'match':>6}")
+    for w in report["workloads"]:
+        print(f"{w['name']:<16} {w['tasks']:>5} {w['serial']['wall_s']:>9.3f} "
+              f"{w['parallel']['wall_s']:>11.3f} {w['speedup']:>8.2f} "
+              f"{'yes' if w['results_match'] else 'NO':>6}")
+    t = report["total"]
+    print(f"{'total':<16} {'':>5} {t['serial_s']:>9.3f} "
+          f"{t['parallel_s']:>11.3f} {t['speedup']:>8.2f} "
+          f"{'yes' if t['all_results_match'] else 'NO':>6}")
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro bench",
+        description="serial-vs-parallel rollout engine benchmark "
+                    "(emits BENCH_parallel.json)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="parallel worker processes to compare against serial")
+    p.add_argument("--quick", action="store_true",
+                   help="small workloads (CI smoke)")
+    p.add_argument("--workload", nargs="+", choices=sorted(WORKLOADS),
+                   default=None, help="subset of workloads to run")
+    p.add_argument("--out", default=DEFAULT_OUT,
+                   help=f"output JSON path (default {DEFAULT_OUT})")
+    return p
+
+
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    args = build_bench_parser().parse_args(argv)
+    report = run_bench(workers=args.workers, quick=args.quick,
+                       workloads=args.workload, out=args.out)
+    _print_report(report)
+    print(f"\nwrote {args.out}")
+    if not report["total"]["all_results_match"]:
+        print("ERROR: parallel results diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(bench_main())

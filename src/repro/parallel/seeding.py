@@ -1,0 +1,107 @@
+"""Deterministic per-task seed derivation for parallel rollouts.
+
+The engine's reproducibility contract (docs/PARALLEL.md) is built on
+numpy's :class:`~numpy.random.SeedSequence` spawn-key mechanism:
+
+    task_seed(task_id) = SeedSequence(entropy=seed_root,
+                                      spawn_key=(task_id,))
+
+Two properties make this the right derivation for a process pool:
+
+- **deterministic** — the seed of task *i* depends only on
+  ``(seed_root, i)``, never on scheduling order, worker identity, or
+  how many workers execute the batch.  A grid run at ``workers=1`` and
+  ``workers=16`` hands every task the same seed.
+- **decorrelated** — SeedSequence guarantees independent streams for
+  distinct spawn keys, unlike ``seed_root + i`` arithmetic which
+  produces overlapping generator states for nearby roots.
+
+The module also carries the *task-seed context*: the engine wraps each
+task execution in :func:`task_seed`, and seed-less components deep in
+the stack (``pretrain_offline_multi``, the ``default_rng(0)`` fallbacks
+in ``rl``/``netsim``) consult :func:`current_task_seed` /
+:func:`fallback_rng` instead of silently sharing one ``default_rng(0)``
+stream across every forked worker.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["spawn_seed_sequence", "derive_seed", "derive_rng",
+           "task_seed", "current_task_seed", "fallback_rng"]
+
+#: spawn-key namespace separating component *fallback* streams from the
+#: engine's task-level streams (which use the bare ``(task_id,)`` key).
+_FALLBACK_KEY = 0x5EED
+
+#: the task seed installed by the engine for the current process, if any.
+_CURRENT_TASK_SEED: Optional[int] = None
+
+
+def spawn_seed_sequence(seed_root: Optional[int],
+                        task_id: int) -> np.random.SeedSequence:
+    """The ``seed_root -> spawn_key(task_id)`` derivation, as a sequence."""
+    root = 0 if seed_root is None else int(seed_root)
+    if task_id < 0:
+        raise ValueError("task_id must be non-negative")
+    return np.random.SeedSequence(entropy=root, spawn_key=(int(task_id),))
+
+
+def derive_seed(seed_root: Optional[int], task_id: int) -> int:
+    """A 32-bit integer seed for task ``task_id`` under ``seed_root``.
+
+    Stable across platforms and numpy versions that share the
+    SeedSequence hashing (numpy >= 1.17).
+    """
+    state = spawn_seed_sequence(seed_root, task_id).generate_state(1, np.uint32)
+    return int(state[0])
+
+
+def derive_rng(seed_root: Optional[int], task_id: int) -> np.random.Generator:
+    """A fresh Generator on the task's independent stream."""
+    return np.random.default_rng(spawn_seed_sequence(seed_root, task_id))
+
+
+@contextmanager
+def task_seed(seed: Optional[int]) -> Iterator[Optional[int]]:
+    """Install ``seed`` as the process's current task seed.
+
+    The engine enters this context around every task execution (in the
+    worker process for parallel runs, in-process for serial runs, so the
+    two paths see identical seeding).  Nesting restores the previous
+    value on exit.
+    """
+    global _CURRENT_TASK_SEED
+    previous = _CURRENT_TASK_SEED
+    _CURRENT_TASK_SEED = None if seed is None else int(seed)
+    try:
+        yield _CURRENT_TASK_SEED
+    finally:
+        _CURRENT_TASK_SEED = previous
+
+
+def current_task_seed(default: Optional[int] = None) -> Optional[int]:
+    """The engine-installed seed for the running task, else ``default``."""
+    return _CURRENT_TASK_SEED if _CURRENT_TASK_SEED is not None else default
+
+
+def fallback_rng(default_seed: int = 0) -> np.random.Generator:
+    """Seeded fallback Generator for components constructed without one.
+
+    Outside an engine task this is exactly the legacy
+    ``default_rng(default_seed)`` fallback (so direct, single-process
+    use is bit-for-bit unchanged).  Inside a task, the stream is derived
+    from the task seed via a dedicated spawn key, so workers that were
+    forked from the same parent stop sharing one ``default_rng(0)``
+    state — each task gets its own deterministic, decorrelated stream.
+    """
+    seed = current_task_seed()
+    if seed is None:
+        return np.random.default_rng(int(default_seed))
+    seq = np.random.SeedSequence(entropy=int(seed),
+                                 spawn_key=(_FALLBACK_KEY, int(default_seed)))
+    return np.random.default_rng(seq)

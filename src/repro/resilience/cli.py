@@ -60,6 +60,9 @@ def build_chaos_parser() -> argparse.ArgumentParser:
     p.add_argument("--hosts-per-leaf", type=int, default=8)
     p.add_argument("--leaves", type=int, default=4)
     p.add_argument("--spines", type=int, default=2)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the scheme fan-out "
+                        "(1 = serial in-process)")
     return p
 
 
@@ -119,15 +122,27 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
     print(f"chaos matrix={args.matrix} seed={args.seed} "
           f"guard={'off' if args.no_guard else 'on'} "
           f"duration={duration * 1e3:.0f}ms")
+    cfg = ScenarioConfig(workload=args.workload, load=args.load,
+                         duration=duration, pretrain_intervals=0,
+                         seed=args.seed, fluid=fabric)
     rows: List[Tuple[str, LoopResult, FaultLog, Optional[int]]] = []
-    for scheme in args.scheme:
-        cfg = ScenarioConfig(workload=args.workload, load=args.load,
-                             duration=duration, pretrain_intervals=0,
-                             seed=args.seed, fluid=fabric)
-        print(f"running {scheme} under chaos ...", file=sys.stderr)
-        result, log, recovery = run_chaos_scenario(
-            scheme, cfg, args.matrix, guard=not args.no_guard)
-        rows.append((scheme, result, log, recovery))
+    if args.workers > 1 and len(args.scheme) > 1:
+        from repro.parallel.engine import Engine, TaskSpec
+        print(f"running {len(args.scheme)} schemes under chaos across "
+              f"{args.workers} workers ...", file=sys.stderr)
+        specs = [TaskSpec(task_id=i, fn=run_chaos_scenario,
+                          args=(scheme, cfg, args.matrix),
+                          kwargs={"guard": not args.no_guard})
+                 for i, scheme in enumerate(args.scheme)]
+        outcomes = Engine(workers=args.workers).run(specs).values()
+        for scheme, (result, log, recovery) in zip(args.scheme, outcomes):
+            rows.append((scheme, result, log, recovery))
+    else:
+        for scheme in args.scheme:
+            print(f"running {scheme} under chaos ...", file=sys.stderr)
+            result, log, recovery = run_chaos_scenario(
+                scheme, cfg, args.matrix, guard=not args.no_guard)
+            rows.append((scheme, result, log, recovery))
 
     for scheme, result, log, recovery in rows:
         print(f"\n== {scheme}: fault log ==")

@@ -42,6 +42,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.parallel.seeding import fallback_rng
+
 from repro.netsim.failures import LinkFailureInjector
 from repro.resilience.log import FaultLog
 
@@ -276,7 +278,7 @@ class ChaosInjector:
                  log: Optional[FaultLog] = None) -> None:
         self.network = network
         self.plan = plan
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng(0)
         self.log = log if log is not None else FaultLog()
         self._links = (_FluidLinks(network, self.rng)
                        if hasattr(network, "fail_uplinks")

@@ -22,7 +22,14 @@ Format v2 adds crash safety on top of the plain v1 archive:
   ``zipfile``/``numpy`` errors;
 - :class:`CheckpointManager` — rotates the last-N good checkpoints and
   resumes from the newest *uncorrupted* one, transparently skipping
-  damaged files.
+  damaged files;
+- **concurrent writers** — the temp file carries a unique
+  (per-process, per-call) name via :func:`tempfile.mkstemp`, so two
+  workers saving the same target never interleave bytes in one temp
+  file: whichever ``os.replace`` lands last wins atomically.  Rotation
+  pruning tolerates races (a sibling manager may have removed the file
+  first), which is what makes the manager safe under the parallel
+  rollout engine (docs/PARALLEL.md).
 
 v1 archives (no ``__meta__/`` entries) still load.  Paths are
 normalized in both directions: ``save_checkpoint("ckpt")`` writes
@@ -31,9 +38,11 @@ normalized in both directions: ``save_checkpoint("ckpt")`` writes
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import re
+import tempfile
 import zipfile
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -135,15 +144,19 @@ def save_checkpoint(path: str, state: Nested) -> str:
     payload = dict(flat)
     payload[f"{_META_KEY}{_SEP}version"] = np.asarray(CHECKPOINT_VERSION)
     payload[f"{_META_KEY}{_SEP}checksum"] = np.asarray(_payload_digest(flat))
-    tmp = path + ".tmp"
+    # Unique temp name per call: concurrent savers of the same target
+    # each write their own temp file and race only on the atomic rename.
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
     try:
-        with open(tmp, "wb") as f:
+        with os.fdopen(fd, "wb") as f:
             np.savez(f, **payload)
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, path)
     finally:
-        if os.path.exists(tmp):
+        with contextlib.suppress(FileNotFoundError):
             os.remove(tmp)
     dir_fd = os.open(directory, os.O_RDONLY)
     try:
@@ -235,7 +248,10 @@ class CheckpointManager:
             raise ValueError("step must be non-negative")
         path = save_checkpoint(self._path(step), state)
         for _, old in self.checkpoints()[:-self.keep]:
-            os.remove(old)
+            # A concurrent manager over the same directory may prune the
+            # same rotation first; losing that race is fine.
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(old)
         return path
 
     def latest_step(self) -> Optional[int]:
@@ -248,6 +264,8 @@ class CheckpointManager:
         for step, path in reversed(self.checkpoints()):
             try:
                 return load_checkpoint(path), step
+            except FileNotFoundError:
+                continue            # pruned by a concurrent manager mid-walk
             except (CheckpointError, ValueError) as exc:
                 self.skipped.append(f"{path}: {exc}")
         return None

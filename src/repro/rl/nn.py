@@ -16,6 +16,8 @@ from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from repro.parallel.seeding import fallback_rng
+
 __all__ = ["Module", "Linear", "Tanh", "ReLU", "MLP"]
 
 
@@ -63,7 +65,7 @@ class Linear(Module):
                  rng: np.random.Generator | None = None) -> None:
         if in_dim <= 0 or out_dim <= 0:
             raise ValueError("Linear dimensions must be positive")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else fallback_rng(0)
         # He/Xavier-style scaling keeps activations well-conditioned for
         # the tanh nets used throughout.
         limit = np.sqrt(6.0 / (in_dim + out_dim))
@@ -149,7 +151,7 @@ class MLP(Module):
             raise ValueError("MLP needs at least input and output sizes")
         if activation not in _ACTIVATIONS:
             raise ValueError(f"unknown activation {activation!r}")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else fallback_rng(0)
         act = _ACTIVATIONS[activation]
         self.layers: List[Module] = []
         for i in range(len(sizes) - 1):

@@ -19,6 +19,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.parallel.seeding import fallback_rng
+
 from repro.rl.nn import MLP
 
 __all__ = ["softmax", "log_softmax", "CategoricalPolicy", "ExplorationSchedule"]
@@ -52,7 +54,7 @@ class CategoricalPolicy:
 
     def __init__(self, net: MLP, rng: np.random.Generator | None = None) -> None:
         self.net = net
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng(0)
         self.n_actions = net.sizes[-1]
 
     def probs(self, obs: np.ndarray) -> np.ndarray:

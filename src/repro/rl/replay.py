@@ -20,6 +20,8 @@ from typing import Deque, Dict, Hashable, Sequence, Tuple
 
 import numpy as np
 
+from repro.parallel.seeding import fallback_rng
+
 __all__ = ["Transition", "ReplayBuffer", "GlobalReplayBuffer"]
 
 
@@ -46,7 +48,7 @@ class ReplayBuffer:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._store: Deque[Transition] = deque(maxlen=capacity)
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng(0)
 
     def push(self, t: Transition) -> None:
         self._store.append(t)

@@ -1,0 +1,70 @@
+"""``python -m repro bench`` — schema, verification, and CLI contract."""
+
+import json
+
+import pytest
+
+from repro.parallel.perfbench import (BENCH_SCHEMA, WORKLOADS, bench_main,
+                                      run_bench)
+
+
+class TestRunBench:
+    def test_quick_report_schema_and_verification(self, tmp_path):
+        out = str(tmp_path / "BENCH_parallel.json")
+        report = run_bench(workers=2, quick=True,
+                           workloads=["figure_matrix"], out=out)
+        with open(out, encoding="utf-8") as f:
+            on_disk = json.load(f)
+        assert on_disk == report
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["quick"] is True
+        assert report["workers"] == 2
+        assert isinstance(report["cpu_count"], int)
+        (w,) = report["workloads"]
+        assert w["name"] == "figure_matrix"
+        assert w["tasks"] >= 2
+        assert w["results_match"] is True        # parallel == serial, exactly
+        assert w["serial"]["wall_s"] > 0
+        assert w["parallel"]["wall_s"] > 0
+        assert w["speedup"] > 0
+        assert len(w["serial"]["task_s"]) == w["tasks"]
+        assert set(w["stages"]) == {"spec_build_s", "serial_run_s",
+                                    "parallel_run_s", "verify_s"}
+        assert report["total"]["all_results_match"] is True
+
+    def test_rejects_serial_only(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_bench(workers=1, quick=True, out=None)
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_bench(workers=2, quick=True, workloads=["nope"], out=None)
+
+    def test_workload_registry(self):
+        assert set(WORKLOADS) == {"pretrain_multi", "sweep_grid",
+                                  "figure_matrix"}
+        for build in WORKLOADS.values():
+            specs = build(True)
+            assert len(specs) >= 2
+            assert [s.task_id for s in specs] == list(range(len(specs)))
+
+
+class TestBenchCLI:
+    def test_bench_main_writes_report_and_exits_zero(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        rc = bench_main(["--quick", "--workers", "2",
+                         "--workload", "sweep_grid", "--out", out])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "sweep_grid" in printed
+        with open(out, encoding="utf-8") as f:
+            assert json.load(f)["total"]["all_results_match"] is True
+
+    def test_repro_cli_dispatches_bench(self, tmp_path):
+        from repro.cli import main
+        out = str(tmp_path / "bench.json")
+        rc = main(["bench", "--quick", "--workers", "2",
+                   "--workload", "figure_matrix", "--out", out])
+        assert rc == 0
+        with open(out, encoding="utf-8") as f:
+            assert json.load(f)["schema"] == BENCH_SCHEMA

@@ -1,0 +1,141 @@
+"""Property-based (hypothesis) netsim invariants, checked end-to-end.
+
+These run whole simulations under randomized traffic — with the runtime
+sanitizer active (conftest enables :mod:`repro.devtools.sanitize` for
+the whole suite) — and assert the three invariants the parallel rollout
+engine's correctness story leans on:
+
+- **packet conservation** — for every switch output queue, accepted
+  bytes/packets equal dequeued plus still-resident ones (and offered
+  traffic equals accepted plus dropped);
+- **bounded queues** — no queue ever exceeds its buffer, in the packet
+  simulator (``ByteQueue.capacity_bytes``) and the fluid one
+  (``switch_buffer_bytes``) alike;
+- **ECN monotonicity** — the empirical mark rate of :class:`ECNMarker`
+  is non-decreasing in queue occupancy.
+
+Example counts are deliberately small on the simulation-heavy cases:
+each example is a full (tiny) run, and the suite must stay inside the
+tier-1 time budget.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.ecn import ECNConfig, ECNMarker
+from repro.netsim.flow import Flow
+from repro.netsim.fluid import FluidConfig, FluidNetwork
+from repro.netsim.network import PacketNetwork
+from repro.netsim.topology import TopologyConfig
+
+_TINY = TopologyConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2)
+
+
+def _packet_net(seed, sizes):
+    net = PacketNetwork(TopologyConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2),
+                        transport="dcqcn", seed=seed)
+    hosts = net.host_names()
+    net.start_flows([Flow(i, hosts[i % len(hosts)],
+                          hosts[(i + 2) % len(hosts)], size,
+                          start_time=i * 5e-5)
+                     for i, size in enumerate(sizes)])
+    return net
+
+
+def _switch_queues(net):
+    for sw in net.topology.switches():
+        for port in sw.ports:
+            yield port.queue
+
+
+# ------------------------------------------------------- conservation
+class TestPacketConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           sizes=st.lists(st.integers(1_000, 120_000),
+                          min_size=2, max_size=8))
+    def test_every_queue_conserves_packets(self, seed, sizes):
+        net = _packet_net(seed, sizes)
+        for _ in range(4):
+            net.advance(5e-4)
+            for q in _switch_queues(net):
+                c = q.counters
+                # accepted = drained + still resident
+                assert c.enqueued_bytes == c.dequeued_bytes + q.qlen_bytes
+                assert c.enqueued_pkts == c.dequeued_pkts + len(q)
+                # offered = accepted + dropped, and nothing negative
+                assert min(c.enqueued_bytes, c.dequeued_bytes,
+                           c.dropped_bytes, q.qlen_bytes) >= 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           sizes=st.lists(st.integers(1_000, 120_000),
+                          min_size=2, max_size=8))
+    def test_conservation_survives_drain(self, seed, sizes):
+        """After the sources go quiet, queues drain to empty and the
+        ledgers close exactly."""
+        net = _packet_net(seed, sizes)
+        net.advance(0.05)                       # long enough to finish
+        for q in _switch_queues(net):
+            c = q.counters
+            assert q.qlen_bytes == 0
+            assert c.enqueued_bytes == c.dequeued_bytes
+            assert c.enqueued_pkts == c.dequeued_pkts
+
+
+# ------------------------------------------------------- bounded queues
+class TestBoundedQueues:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           sizes=st.lists(st.integers(10_000, 200_000),
+                          min_size=2, max_size=8))
+    def test_packet_queues_never_exceed_buffer(self, seed, sizes):
+        net = _packet_net(seed, sizes)
+        for _ in range(4):
+            net.advance(5e-4)
+            for q in _switch_queues(net):
+                assert q.qlen_bytes <= q.capacity_bytes
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           buffer_kb=st.integers(20, 500),
+           n_flows=st.integers(2, 10))
+    def test_fluid_queues_never_exceed_buffer(self, seed, buffer_kb,
+                                              n_flows):
+        cfg = FluidConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2,
+                          host_rate_bps=10e9, spine_rate_bps=40e9,
+                          switch_buffer_bytes=buffer_kb * 1000)
+        net = FluidNetwork(cfg, seed=seed)
+        hosts = net.host_names()
+        rng = np.random.default_rng(seed)
+        net.start_flows([Flow(i, hosts[i % 2], hosts[2 + i % 2],
+                              int(rng.integers(20_000, 500_000)),
+                              start_time=float(rng.uniform(0, 1e-3)))
+                         for i in range(n_flows)])
+        for _ in range(10):
+            net.advance(2e-4)
+            assert float(net.q_len.max(initial=0.0)) \
+                <= cfg.switch_buffer_bytes + 1e-6
+
+
+# ------------------------------------------------------- ECN monotone
+class TestECNMarkRateMonotone:
+    @settings(max_examples=40, deadline=None)
+    @given(kmin=st.integers(0, 100_000),
+           span=st.integers(1, 100_000),
+           pmax=st.floats(0.05, 1.0),
+           q1=st.floats(0, 250_000), q2=st.floats(0, 250_000),
+           seed=st.integers(0, 2**16))
+    def test_empirical_mark_rate_monotone_in_occupancy(self, kmin, span,
+                                                       pmax, q1, q2, seed):
+        """Common-random-numbers pairing: two markers with identical rng
+        streams draw the same uniforms, so a mark at the lower occupancy
+        implies a mark at the higher one — the empirical rate is
+        monotone draw-for-draw, not just in expectation."""
+        lo, hi = sorted((q1, q2))
+        cfg = ECNConfig(kmin, kmin + span, pmax)
+        m_lo = ECNMarker(cfg, rng=np.random.default_rng(seed))
+        m_hi = ECNMarker(cfg, rng=np.random.default_rng(seed))
+        marks_lo = sum(m_lo.should_mark(lo) for _ in range(200))
+        marks_hi = sum(m_hi.should_mark(hi) for _ in range(200))
+        assert marks_lo <= marks_hi
