@@ -45,9 +45,12 @@ def main() -> None:
         total = 0.0
         for _ in range(INTERVALS):
             d = agent.act(obs)
-            next_obs, reward, done, _ = env.step(d["action"])
+            next_obs, reward, done, info = env.step(d["action"])
+            # A time-limit cut-off is a truncation: GAE bootstraps
+            # V(s_T) from next_obs instead of treating it as terminal.
             agent.record(obs, d["action"], reward, done,
-                         d["log_prob"], d["value"])
+                         d["log_prob"], d["value"],
+                         truncated=info.get("TimeLimit.truncated", False))
             obs = next_obs
             total += reward
             steps += 1

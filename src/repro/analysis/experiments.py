@@ -33,6 +33,7 @@ from repro.core.training import (pretrain_offline_multi,
 from repro.netsim.fluid import FluidConfig, FluidNetwork
 from repro.netsim.network import PacketNetwork
 from repro.netsim.topology import TopologyConfig
+from repro.obs.trace import get_tracer
 from repro.traffic.generator import PoissonTrafficGenerator, TrafficConfig
 from repro.traffic.incast import IncastConfig, IncastGenerator
 from repro.traffic.workloads import workload_by_name
@@ -276,15 +277,20 @@ def run_scenario(scheme: str, cfg: Optional[ScenarioConfig] = None, *,
     # Pre-trained states are cached in-process so a benchmark sweep does
     # not retrain per load point (the paper likewise deploys ONE offline
     # pre-trained initial model, §4.4.1).
+    tr = get_tracer()
     if scheme in ("pet", "pet_ablated") and cfg.pretrain_intervals > 0:
-        state = _cached_pretrain(scheme, cfg, controller.config)
+        with tr.span("scenario.pretrain", scheme=scheme,
+                     intervals=cfg.pretrain_intervals):
+            state = _cached_pretrain(scheme, cfg, controller.config)
         controller.load_state_dict(state)
         controller.advance_exploration(cfg.pretrain_intervals)
         controller.reset_episode()
     elif scheme == "acc" and cfg.pretrain_intervals > 0:
         # ACC trains online from scratch in its paper; give it the same
         # interval budget on the training run for a fair comparison.
-        state = _cached_pretrain_acc(cfg, controller, base_pet)
+        with tr.span("scenario.pretrain", scheme=scheme,
+                     intervals=cfg.pretrain_intervals):
+            state = _cached_pretrain_acc(cfg, controller, base_pet)
         controller.load_state_dict(state)
         controller.advance_exploration(cfg.pretrain_intervals)
 
@@ -303,12 +309,13 @@ def run_scenario(scheme: str, cfg: Optional[ScenarioConfig] = None, *,
         if on_interval is not None:
             on_interval(i, now, stats)
 
-    run_control_loop(net, controller, intervals=intervals,
-                     delta_t=cfg.delta_t, on_interval=_collect)
-    # drain: let in-flight flows finish without new arrivals
-    drain = max(int(0.2 * intervals), 10)
-    run_control_loop(net, controller, intervals=drain, delta_t=cfg.delta_t,
-                     on_interval=None)
+    with tr.span("scenario.measure", scheme=scheme, intervals=intervals):
+        run_control_loop(net, controller, intervals=intervals,
+                         delta_t=cfg.delta_t, on_interval=_collect)
+        # drain: let in-flight flows finish without new arrivals
+        drain = max(int(0.2 * intervals), 10)
+        run_control_loop(net, controller, intervals=drain, delta_t=cfg.delta_t,
+                         on_interval=None)
 
     base_rtt = (cfg.fluid.base_rtt if cfg.simulator == "fluid"
                 else cfg.packet.base_rtt())

@@ -19,6 +19,11 @@ parallel rollout engine itself (docs/PARALLEL.md)::
 
     python -m repro --scheme pet secn1 secn2 --workers 3
     python -m repro bench --quick --workers 2
+
+Run one scenario under full telemetry and emit a JSONL trace plus a
+metrics summary (docs/OBSERVABILITY.md)::
+
+    python -m repro trace --scenario websearch --seed 0
 """
 
 from __future__ import annotations
@@ -73,6 +78,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "bench":
         from repro.parallel.perfbench import bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import trace_main
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.sanitize or sanitize.enabled_from_env():
         sanitize.enable()

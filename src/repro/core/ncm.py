@@ -29,6 +29,7 @@ from typing import Dict, List
 
 from repro.core.config import PETConfig
 from repro.netsim.flow import MICE_ELEPHANT_THRESHOLD
+from repro.obs.metrics import get_registry
 from repro.netsim.network import QueueStats
 from repro.netsim.queueing import FlowObservation
 from repro.traffic.classify import mice_elephant_ratio
@@ -115,6 +116,12 @@ class NetworkConditionMonitor:
         if self.memory_bytes() > cfg.ncm_memory_threshold_bytes:
             self._threshold_sweep()
             self.cleanups_threshold += 1
+        reg = get_registry()
+        if reg:
+            reg.set_gauge("ncm.memory_bytes", self.memory_bytes(),
+                          switch=self.switch)
+            reg.set_gauge("ncm.retained_slots", len(self._slots),
+                          switch=self.switch)
 
     def _expire_old_slots(self) -> None:
         """Keep only the last k slots (Eq. 3 defines older data as expired)."""
@@ -140,6 +147,11 @@ class NetworkConditionMonitor:
                 del slot.flow_obs[fid]
                 dropped += 1
         self.entries_pruned += dropped
+        # Emptied slots must not linger: they would inflate the slot
+        # count the periodic sweep keys off (pushing data-bearing slots
+        # out of the ``[-k:]`` window early) and grow the slot list
+        # without bound under bursty incast.
+        self._slots = [s for s in self._slots if s.flow_obs]
 
     # -- introspection --------------------------------------------------------------
     def retained_slots(self) -> int:

@@ -30,6 +30,8 @@ from repro.core.reward import RewardComputer
 from repro.core.state import HistoryWindow, StateBuilder
 from repro.netsim.ecn import ECNConfig
 from repro.netsim.network import QueueStats
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.rl.ippo import IPPOTrainer
 from repro.rl.policy import ExplorationSchedule
 from repro.rl.ppo import PPOConfig
@@ -89,19 +91,21 @@ class PETController:
         recorded; (3) the agent selects a new action on the fresh
         observation; (4) the ECN-CM pushes the decoded thresholds.
         """
+        tr = get_tracer()
         obs_now: Dict[str, np.ndarray] = {}
         rewards: Dict[str, float] = {}
-        for s in self.switches:
-            st = stats.get(s)
-            if st is None:
-                continue
-            analysis = self.ncm[s].ingest(st, now)
-            features = self.state_builder.build(
-                st, analysis.incast_degree, analysis.flow_ratio)
-            self.history[s].push(features)
-            obs_now[s] = self.history[s].observation()
-            rewards[s] = self.reward.compute(st)
-            self._reward_log[s].append(rewards[s])
+        with tr.span("pet.ingest", now=now, switches=len(self.switches)):
+            for s in self.switches:
+                st = stats.get(s)
+                if st is None:
+                    continue
+                analysis = self.ncm[s].ingest(st, now)
+                features = self.state_builder.build(
+                    st, analysis.incast_degree, analysis.flow_ratio)
+                self.history[s].push(features)
+                obs_now[s] = self.history[s].observation()
+                rewards[s] = self.reward.compute(st)
+                self._reward_log[s].append(rewards[s])
 
         # close out the previous decisions with this interval's rewards
         if self.training:
@@ -113,18 +117,31 @@ class PETController:
                              False, pending["log_prob"], pending["value"])
             self._steps += 1
             if self._steps % self.config.update_interval == 0:
-                self.update_stats.append(self.trainer.update(obs_now))
+                with tr.span("ppo.update", now=now, step=self._steps,
+                             agents=len(obs_now)):
+                    self.update_stats.append(self.trainer.update(obs_now))
 
         # select and apply new actions
         applied: Dict[str, ECNConfig] = {}
-        for s, obs in obs_now.items():
-            eps = self.exploration[s].step() if self.training else 0.0
-            decision = self.trainer.agents[s].act(obs, epsilon=eps,
-                                                  greedy=not self.training)
-            self._pending[s] = {"obs": obs, **decision}
-            cfgd = self.ecn_cm[s].apply(int(decision["action"]), now, network)
-            if cfgd is not None:
-                applied[s] = cfgd
+        with tr.span("pet.act", now=now, agents=len(obs_now)):
+            for s, obs in obs_now.items():
+                eps = self.exploration[s].step() if self.training else 0.0
+                decision = self.trainer.agents[s].act(obs, epsilon=eps,
+                                                      greedy=not self.training)
+                self._pending[s] = {"obs": obs, **decision}
+                cfgd = self.ecn_cm[s].apply(int(decision["action"]), now,
+                                            network)
+                if cfgd is not None:
+                    applied[s] = cfgd
+                    tr.event("ecn.reconfig", switch=s, now=now,
+                             kmin=cfgd.kmin_bytes, kmax=cfgd.kmax_bytes,
+                             pmax=cfgd.pmax)
+        reg = get_registry()
+        if reg:
+            reg.inc("pet.decide_intervals")
+            reg.inc("ecn.reconfigs", len(applied))
+            for s, r in rewards.items():
+                reg.observe("pet.reward", r, switch=s)
         return applied
 
     # -- checkpointing (offline -> online deployment, §4.4) --------------------

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.core.config import PETConfig
 from repro.core.pet import PETController
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.parallel.seeding import current_task_seed, derive_seed
 from repro.rl.checkpoint import CheckpointManager
 
@@ -84,21 +86,32 @@ def run_control_loop(network, controller, *, intervals: int, delta_t: float,
     """
     if intervals <= 0:
         raise ValueError("intervals must be positive")
+    tr = get_tracer()
+    reg = get_registry()
     trace: List[float] = []
     per_switch: Dict[str, List[float]] = {}
     for i in range(intervals):
-        if chaos is not None:
-            chaos.tick(network.now)
-        network.advance(delta_t)
-        stats = network.queue_stats()
-        seen = stats if chaos is None else chaos.filter_stats(stats, network.now)
-        controller.decide(seen, network.now, network)
-        util = [st.utilization for st in stats.values()]
-        trace.append(float(np.mean(util)) if util else 0.0)
-        for name, st in stats.items():
-            per_switch.setdefault(name, []).append(st.avg_qlen_bytes)
-        if on_interval is not None:
-            on_interval(i, network.now, stats)
+        with tr.span("loop.tick", interval=i, now=network.now):
+            if chaos is not None:
+                chaos.tick(network.now)
+            with tr.span("net.advance", interval=i):
+                network.advance(delta_t)
+            with tr.span("net.queue_stats", interval=i):
+                stats = network.queue_stats()
+            seen = (stats if chaos is None
+                    else chaos.filter_stats(stats, network.now))
+            with tr.span("controller.decide", interval=i):
+                controller.decide(seen, network.now, network)
+            util = [st.utilization for st in stats.values()]
+            mean_util = float(np.mean(util)) if util else 0.0
+            trace.append(mean_util)
+            for name, st in stats.items():
+                per_switch.setdefault(name, []).append(st.avg_qlen_bytes)
+            if reg:
+                reg.inc("loop.intervals")
+                reg.observe("loop.mean_utilization", mean_util)
+            if on_interval is not None:
+                on_interval(i, network.now, stats)
     rewards = {k: float(np.mean(v)) for k, v in per_switch.items()}
     return LoopResult(intervals=intervals,
                       mean_reward=float(np.mean(trace)) if trace else 0.0,
@@ -170,11 +183,15 @@ def _run_training_episodes(controller: PETController,
                            done_intervals: int = 0) -> List[LoopResult]:
     """Drive ``episodes`` training episodes; returns one LoopResult each."""
     results: List[LoopResult] = []
+    tr = get_tracer()
     net = first_net
     for ep in range(episodes):
         if ep > 0:
             net = make_network()
             controller.reset_episode()
+        get_registry().inc("train.episodes")
+        tr.event("train.episode", episode=ep,
+                 intervals=intervals_per_episode)
         on_interval = None
         if checkpoints is not None:
             base = done_intervals + ep * intervals_per_episode

@@ -6,7 +6,12 @@ stacked over the history window; actions index the
 :class:`~repro.core.action.ActionCodec`; the reward is paper Eq. 6.
 
 API shape follows classic Gym: ``obs = env.reset()``,
-``obs, reward, done, info = env.step(action)``.
+``obs, reward, done, info = env.step(action)``.  ECN tuning is a
+continuing task with no terminal states, so every episode end is a
+*time-limit truncation*: ``done`` goes True at the horizon and
+``info["TimeLimit.truncated"]`` is set (Gym's ``TimeLimit`` wrapper
+convention) so learners bootstrap ``V(s_T)`` instead of treating the
+cut-off as absorbing.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from repro.core.ncm import NetworkConditionMonitor
 from repro.core.reward import RewardComputer
 from repro.core.state import HistoryWindow, StateBuilder
 from repro.netsim.fluid import FluidConfig, FluidNetwork
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.traffic.generator import PoissonTrafficGenerator, TrafficConfig
 from repro.traffic.workloads import workload_by_name
 
@@ -104,6 +111,10 @@ class DCNEnv:
     def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict]:
         if self.net is None:
             raise RuntimeError("call reset() before step()")
+        with get_tracer().span("env.step", t=self._t):
+            return self._step(action)
+
+    def _step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict]:
         ecn = self.codec.decode(int(action))
         self.net.set_ecn(self.agent_switch, ecn)
         self.net.advance(self.config.pet.delta_t)
@@ -115,8 +126,16 @@ class DCNEnv:
         obs = self.history.observation()
         reward = self.reward.compute(stats)
         self._t += 1
-        done = self._t >= self.config.episode_intervals
+        # The only episode end is the time horizon — a truncation, not a
+        # termination (there is no absorbing state in ECN tuning).
+        truncated = self._t >= self.config.episode_intervals
+        done = truncated
         info = {"utilization": stats.utilization,
                 "avg_qlen_bytes": stats.avg_qlen_bytes,
-                "ecn": ecn, "now": self.net.now}
+                "ecn": ecn, "now": self.net.now,
+                "TimeLimit.truncated": truncated}
+        reg = get_registry()
+        if reg:
+            reg.inc("env.steps")
+            reg.observe("env.reward", reward)
         return obs, reward, done, info

@@ -17,6 +17,8 @@ from repro.core.ncm import NetworkConditionMonitor
 from repro.core.reward import RewardComputer
 from repro.core.state import HistoryWindow, StateBuilder
 from repro.gymenv.env import EnvConfig
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = ["MultiAgentDCNEnv"]
 
@@ -74,16 +76,24 @@ class MultiAgentDCNEnv:
                         Dict[str, bool], Dict]:
         if self.net is None:
             raise RuntimeError("call reset() before step()")
-        for s, a in actions.items():
-            self.net.set_ecn(s, self.codec.decode(int(a)))
-        self.net.advance(self.config.pet.delta_t)
-        obs = self._observe()
-        rewards = {s: self.reward.compute(self._last_stats[s])
-                   for s in self.agents}
-        self._t += 1
-        done = self._t >= self.config.episode_intervals
-        dones = {s: done for s in self.agents}
-        info = {"now": self.net.now,
-                "mean_utilization": float(np.mean(
-                    [st.utilization for st in self._last_stats.values()]))}
-        return obs, rewards, dones, info
+        with get_tracer().span("env.step", t=self._t,
+                               agents=len(self.agents)):
+            for s, a in actions.items():
+                self.net.set_ecn(s, self.codec.decode(int(a)))
+            self.net.advance(self.config.pet.delta_t)
+            obs = self._observe()
+            rewards = {s: self.reward.compute(self._last_stats[s])
+                       for s in self.agents}
+            self._t += 1
+            # Horizon reached = time-limit truncation for every agent
+            # simultaneously (no terminal states in ECN tuning).
+            truncated = self._t >= self.config.episode_intervals
+            dones = {s: truncated for s in self.agents}
+            info = {"now": self.net.now,
+                    "TimeLimit.truncated": truncated,
+                    "mean_utilization": float(np.mean(
+                        [st.utilization for st in self._last_stats.values()]))}
+            reg = get_registry()
+            if reg:
+                reg.inc("env.steps")
+            return obs, rewards, dones, info

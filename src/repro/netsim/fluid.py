@@ -33,6 +33,7 @@ from repro.netsim.ecn import SECN1 as _DEFAULT_ECN
 from repro.netsim.flow import Flow
 from repro.netsim.network import QueueStats
 from repro.netsim.queueing import FlowObservation
+from repro.obs.metrics import get_registry
 
 __all__ = ["FluidConfig", "FluidNetwork"]
 
@@ -277,6 +278,11 @@ class FluidNetwork:
         steps = max(1, int(round(dt / self.config.step_dt)))
         for _ in range(steps):
             self._step(self.config.step_dt)
+        reg = get_registry()
+        if reg:
+            reg.inc("netsim.advance_calls", sim="fluid")
+            reg.inc("netsim.steps", steps, sim="fluid")
+            reg.inc("netsim.virtual_s", dt, sim="fluid")
 
     def _step(self, dt: float) -> None:
         cfg = self.config
@@ -383,6 +389,7 @@ class FluidNetwork:
     # ------------------------------------------------------------ stats & control
     def queue_stats(self) -> Dict[str, QueueStats]:
         """Per-switch interval statistics; resets the interval."""
+        get_registry().inc("netsim.stats_collections", sim="fluid")
         interval = max(self._acc_time, 1e-12)
         names = self.switch_names()
         out: Dict[str, QueueStats] = {}
@@ -472,6 +479,7 @@ class FluidNetwork:
         self.kmax[mask] = config.kmax_bytes
         self.pmax[mask] = config.pmax
         self._ecn_by_switch[s] = config
+        get_registry().inc("netsim.ecn_set", sim="fluid")
 
     def set_ecn_all(self, config: ECNConfig) -> None:
         for name in self.switch_names():

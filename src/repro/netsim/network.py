@@ -25,6 +25,7 @@ from repro.netsim.engine import Simulator
 from repro.netsim.flow import Flow
 from repro.netsim.packet import Packet
 from repro.netsim.queueing import FlowObservation
+from repro.obs.metrics import get_registry
 from repro.netsim.switch import SwitchNode
 from repro.netsim.topology import LeafSpineTopology, TopologyConfig
 from repro.netsim.transport import (DCQCNTransport, DCTCPTransport,
@@ -161,6 +162,10 @@ class PacketNetwork:
         if dt <= 0:
             raise ValueError("dt must be positive")
         self.sim.run(until=self.sim.now + dt)
+        reg = get_registry()
+        if reg:
+            reg.inc("netsim.advance_calls", sim="packet")
+            reg.inc("netsim.virtual_s", dt, sim="packet")
 
     # -- statistics -----------------------------------------------------------
     def _reset_baselines(self) -> None:
@@ -174,6 +179,7 @@ class PacketNetwork:
 
     def queue_stats(self) -> Dict[str, QueueStats]:
         """Interval stats per switch; resets the interval afterwards."""
+        get_registry().inc("netsim.stats_collections", sim="packet")
         now = self.sim.now
         interval = max(now - self._last_stats_time, 1e-12)
         out: Dict[str, QueueStats] = {}
@@ -241,6 +247,7 @@ class PacketNetwork:
         if not isinstance(sw, SwitchNode):
             raise TypeError(f"{switch_name} is not a switch")
         sw.set_ecn_all(config)
+        get_registry().inc("netsim.ecn_set", sim="packet")
 
     def set_ecn_all(self, config: ECNConfig) -> None:
         for sw in self.topology.switches():

@@ -1,0 +1,91 @@
+"""Trace/metrics exporters — JSONL (round-trippable) and CSV.
+
+The JSONL schema (``repro.obs/v1``) is one JSON object per line:
+
+- ``{"type": "meta", "schema": "repro.obs/v1", ...}``  — first line;
+- ``{"type": "span", "name": ..., "seq": ..., "wall_time": ...,
+  "start": ..., "duration_s": ..., "attrs": {...}}``   — timed spans;
+- ``{"type": "event", ...}``                           — same shape,
+  ``duration_s`` 0 (fault events, ECN reconfigurations);
+- ``{"type": "metric", "series": "...", "data": {...}}`` — one line per
+  metrics-registry series, from :meth:`MetricsRegistry.summary`.
+
+``read_jsonl`` parses any such file back into ``(meta, spans, metrics)``
+so traces survive a round trip (``tests/test_obs.py`` locks this down).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["OBS_SCHEMA", "write_jsonl", "read_jsonl", "write_csv"]
+
+OBS_SCHEMA = "repro.obs/v1"
+
+
+def write_jsonl(path: str, tracer: Optional[Tracer] = None,
+                registry: Optional[MetricsRegistry] = None,
+                meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write spans + metrics to ``path``; returns the line count."""
+    lines = 1
+    with open(path, "w", encoding="utf-8") as f:
+        header = {"type": "meta", "schema": OBS_SCHEMA, **(meta or {})}
+        if tracer is not None:
+            header["spans"] = len(tracer.spans)
+            header["spans_dropped"] = tracer.dropped
+        f.write(json.dumps(header, sort_keys=True) + "\n")
+        if tracer is not None:
+            for sp in tracer.spans:
+                f.write(json.dumps(sp.as_dict(), sort_keys=True) + "\n")
+                lines += 1
+        if registry is not None:
+            for series, data in registry.summary().items():
+                f.write(json.dumps({"type": "metric", "series": series,
+                                    "data": data}, sort_keys=True) + "\n")
+                lines += 1
+    return lines
+
+
+def read_jsonl(path: str) -> Tuple[Dict[str, Any], List[Span],
+                                   Dict[str, Dict[str, Any]]]:
+    """Parse a ``write_jsonl`` file back into (meta, spans, metrics)."""
+    meta: Dict[str, Any] = {}
+    spans: List[Span] = []
+    metrics: Dict[str, Dict[str, Any]] = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            rtype = rec.get("type")
+            if rtype == "meta":
+                meta = {k: v for k, v in rec.items() if k != "type"}
+            elif rtype in ("span", "event"):
+                spans.append(Span(name=rec["name"],
+                                  wall_time=rec["wall_time"],
+                                  start=rec["start"],
+                                  duration_s=rec["duration_s"],
+                                  kind=rtype, attrs=rec.get("attrs", {}),
+                                  seq=rec.get("seq", 0)))
+            elif rtype == "metric":
+                metrics[rec["series"]] = rec["data"]
+    return meta, spans, metrics
+
+
+def write_csv(path: str, spans: Sequence[Span]) -> int:
+    """Flat CSV of spans/events (attrs JSON-encoded in one column)."""
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["seq", "type", "name", "wall_time", "start",
+                    "duration_s", "attrs"])
+        for sp in spans:
+            w.writerow([sp.seq, sp.kind, sp.name, repr(sp.wall_time),
+                        repr(sp.start), repr(sp.duration_s),
+                        json.dumps(sp.attrs, sort_keys=True)])
+    return len(spans) + 1

@@ -1,0 +1,247 @@
+"""Metrics registry — counters, gauges and histograms with labels.
+
+One :class:`MetricsRegistry` is the process-wide sink every instrumented
+layer writes into (control loop, simulators, learners, engine, guard).
+The module-level active registry defaults to a :class:`NullRegistry`
+whose mutators are no-ops, so instrumentation costs one cheap method
+call when telemetry is off — and *zero* behavioural difference: nothing
+in the registry ever touches a random-number stream (the determinism
+fingerprint check in ``tests/test_obs_integration.py`` locks this down).
+
+Series are keyed by ``(name, labels)`` where labels is a sorted tuple of
+``(key, value)`` pairs, mirroring the Prometheus data model scaled down
+to in-process use::
+
+    reg = enable()
+    reg.inc("loop.intervals")
+    reg.set_gauge("ncm.memory_bytes", 4800, switch="leaf0")
+    reg.observe("ppo.approx_kl", 0.013)
+    reg.summary()["ppo.approx_kl"]["mean"]
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["LabelKey", "HistogramStat", "MetricsRegistry", "NullRegistry",
+           "get_registry", "set_registry", "enable", "disable", "enabled"]
+
+#: canonical series key: metric name + sorted (label, value) pairs.
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> LabelKey:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+@dataclass
+class HistogramStat:
+    """Streaming summary of one observed series (no bucket storage)."""
+
+    count: int = 0
+    total: float = 0.0
+    sq_total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    #: bounded tail of raw observations for exporters/debugging.
+    recent: List[float] = field(default_factory=list)
+    recent_cap: int = 64
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.sq_total += v * v
+        self.minimum = min(self.minimum, v)
+        self.maximum = max(self.maximum, v)
+        self.recent.append(v)
+        if len(self.recent) > self.recent_cap:
+            del self.recent[:len(self.recent) - self.recent_cap]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self.sq_total / self.count - self.mean ** 2
+        return math.sqrt(max(var, 0.0))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "sum": self.total, "mean": self.mean,
+                "std": self.std,
+                "min": self.minimum if self.count else 0.0,
+                "max": self.maximum if self.count else 0.0}
+
+
+class MetricsRegistry:
+    """Labelled counters, gauges and histogram summaries."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[LabelKey, float] = {}
+        self.gauges: Dict[LabelKey, float] = {}
+        self.histograms: Dict[LabelKey, HistogramStat] = {}
+
+    def __bool__(self) -> bool:           # real registry: instrumentation on
+        return True
+
+    # -- mutators -----------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        k = _key(name, labels)
+        self.counters[k] = self.counters.get(k, 0.0) + float(value)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        k = _key(name, labels)
+        stat = self.histograms.get(k)
+        if stat is None:
+            stat = self.histograms[k] = HistogramStat()
+        stat.observe(value)
+
+    # -- reads --------------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return self.counters.get(_key(name, labels), 0.0)
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        return self.gauges.get(_key(name, labels))
+
+    def histogram_stat(self, name: str, **labels: Any) -> Optional[HistogramStat]:
+        return self.histograms.get(_key(name, labels))
+
+    def series_names(self) -> List[str]:
+        names = ({k[0] for k in self.counters}
+                 | {k[0] for k in self.gauges}
+                 | {k[0] for k in self.histograms})
+        return sorted(names)
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-series summary keyed by rendered series name."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for (name, labels), v in sorted(self.counters.items()):
+            out[_render(name, labels)] = {"type": "counter", "value": v}
+        for (name, labels), v in sorted(self.gauges.items()):
+            out[_render(name, labels)] = {"type": "gauge", "value": v}
+        for (name, labels), stat in sorted(self.histograms.items()):
+            out[_render(name, labels)] = {"type": "histogram",
+                                          **stat.as_dict()}
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable full-state dump (used for cross-process merging)."""
+        return {
+            "counters": [(k, v) for k, v in self.counters.items()],
+            "gauges": [(k, v) for k, v in self.gauges.items()],
+            "histograms": [
+                (k, (s.count, s.total, s.sq_total, s.minimum, s.maximum,
+                     list(s.recent)))
+                for k, s in self.histograms.items()],
+        }
+
+    def merge(self, snapshot: Dict[str, Any],
+              extra_labels: Optional[Dict[str, Any]] = None) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histogram summaries add; gauges take the incoming
+        value (last write wins).  ``extra_labels`` are appended to every
+        merged series — the engine uses ``task=<id>`` so per-task worker
+        metrics stay distinguishable after the task-id-ordered merge.
+        """
+        extra = tuple(sorted((k, str(v))
+                             for k, v in (extra_labels or {}).items()))
+
+        def relabel(key: LabelKey) -> LabelKey:
+            name, labels = key[0], tuple(key[1])
+            return (name, tuple(sorted(labels + extra)))
+
+        for key, v in snapshot.get("counters", []):
+            k = relabel((key[0], tuple(map(tuple, key[1]))))
+            self.counters[k] = self.counters.get(k, 0.0) + v
+        for key, v in snapshot.get("gauges", []):
+            self.gauges[relabel((key[0], tuple(map(tuple, key[1]))))] = v
+        for key, packed in snapshot.get("histograms", []):
+            k = relabel((key[0], tuple(map(tuple, key[1]))))
+            count, total, sq_total, mn, mx, recent = packed
+            stat = self.histograms.get(k)
+            if stat is None:
+                stat = self.histograms[k] = HistogramStat()
+            stat.count += count
+            stat.total += total
+            stat.sq_total += sq_total
+            stat.minimum = min(stat.minimum, mn)
+            stat.maximum = max(stat.maximum, mx)
+            stat.recent.extend(recent)
+            if len(stat.recent) > stat.recent_cap:
+                del stat.recent[:len(stat.recent) - stat.recent_cap]
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+def _render(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every mutator is a no-op, truthiness is False.
+
+    ``bool(get_registry())`` is the cheap guard hot paths use to skip
+    work (e.g. ``memory_bytes()`` sums) that only feeds telemetry.
+    """
+
+    def __bool__(self) -> bool:
+        return False
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def merge(self, snapshot: Dict[str, Any],
+              extra_labels: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+
+#: process-wide active registry; NullRegistry() unless enabled.
+_NULL = NullRegistry()
+_active: MetricsRegistry = _NULL
+
+
+def get_registry() -> MetricsRegistry:
+    return _active
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` (``None`` restores the null default)."""
+    global _active
+    _active = registry if registry is not None else _NULL
+    return _active
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Switch metrics collection on; returns the active registry."""
+    return set_registry(registry or MetricsRegistry())
+
+
+def disable() -> None:
+    set_registry(None)
+
+
+def enabled() -> bool:
+    return bool(_active)

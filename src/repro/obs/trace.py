@@ -1,0 +1,170 @@
+"""Tracer — per-interval spans and point events on one shared bus.
+
+A :class:`Span` covers one timed unit of work in the control pipeline
+(a control-loop tick, one ``net.advance``, an NCM ingest batch, an agent
+act/update, an ECN reconfiguration); an *event* is an instantaneous
+record (a fault injected or handled, an ECN threshold applied).  Both
+carry:
+
+- ``wall_time`` — absolute ``time.time()`` at the start, for aligning
+  traces across processes,
+- ``start``/``duration_s`` — monotonic ``time.perf_counter()`` timings,
+  immune to clock steps,
+- ``attrs`` — small JSON-safe attribute dict (interval index, switch,
+  virtual ``now``, ...).
+
+The module-level tracer defaults to :class:`NullTracer`, whose
+``span()`` returns a shared no-op context manager — an enter/exit pair
+with no allocation — so instrumented loops keep their behaviour (and
+their fingerprints, see ``tests/test_obs_integration.py``) with
+telemetry off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "get_tracer", "set_tracer",
+           "enable", "disable", "enabled"]
+
+
+@dataclass
+class Span:
+    """One timed (or instantaneous, for events) trace record."""
+
+    name: str
+    wall_time: float                 # time.time() at start
+    start: float                     # perf_counter() at start
+    duration_s: float = 0.0
+    kind: str = "span"               # "span" | "event"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind, "name": self.name, "seq": self.seq,
+                "wall_time": self.wall_time, "start": self.start,
+                "duration_s": self.duration_s, "attrs": dict(self.attrs)}
+
+
+class _SpanContext:
+    """Context manager that closes one live span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._span.duration_s = time.perf_counter() - self._span.start
+        return None
+
+
+class _NullContext:
+    """Shared no-op span context (telemetry disabled)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """Append-only span/event recorder."""
+
+    def __init__(self, max_spans: int = 1_000_000) -> None:
+        self.spans: List[Span] = []
+        self.max_spans = max_spans
+        self.dropped = 0
+
+    def __bool__(self) -> bool:
+        return True
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a timed span; close it by leaving the ``with`` block."""
+        sp = Span(name=name, wall_time=time.time(),
+                  start=time.perf_counter(), attrs=attrs,
+                  seq=len(self.spans) + self.dropped)
+        self._append(sp)
+        return _SpanContext(self, sp)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous event (duration 0)."""
+        self._append(Span(name=name, wall_time=time.time(),
+                          start=time.perf_counter(), kind="event",
+                          attrs=attrs, seq=len(self.spans) + self.dropped))
+
+    def _append(self, sp: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(sp)
+
+    # -- queries -------------------------------------------------------------
+    def by_name(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def names(self) -> List[str]:
+        return sorted({s.name for s in self.spans})
+
+    def total_duration_s(self, name: str) -> float:
+        return sum(s.duration_s for s in self.spans if s.name == name)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: records nothing, allocates nothing per call."""
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs: Any):   # type: ignore[override]
+        return _NULL_CONTEXT
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+_NULL = NullTracer()
+_active: Tracer = _NULL
+
+
+def get_tracer() -> Tracer:
+    return _active
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` (``None`` restores the null default)."""
+    global _active
+    _active = tracer if tracer is not None else _NULL
+    return _active
+
+
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Switch span collection on; returns the active tracer."""
+    return set_tracer(tracer or Tracer())
+
+
+def disable() -> None:
+    set_tracer(None)
+
+
+def enabled() -> bool:
+    return bool(_active)

@@ -27,6 +27,13 @@ guarantees the figure pipeline depends on (docs/PARALLEL.md):
 In-flight submissions are bounded (``queue_depth``, default
 ``2 * workers``) so a huge grid does not materialize every pending
 future at once.
+
+When telemetry (:mod:`repro.obs`) is enabled, every task executes
+against a task-local :class:`~repro.obs.metrics.MetricsRegistry`; its
+snapshot travels back with the result and is merged into the caller's
+registry in task-id order (like the results themselves), each series
+gaining a ``task=<id>`` label.  With telemetry disabled the snapshot
+slot is ``None`` and the whole path is a single ``enabled()`` check.
 """
 
 from __future__ import annotations
@@ -41,6 +48,8 @@ from dataclasses import dataclass
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple)
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import get_tracer
 from repro.parallel import seeding
 
 __all__ = ["TaskSpec", "TaskFailure", "TaskOutcome", "TaskFailedError",
@@ -95,6 +104,8 @@ class TaskOutcome:
     failure: Optional[TaskFailure] = None
     wall_time_s: float = 0.0
     attempts: int = 1
+    #: task-local metrics snapshot (telemetry enabled), else ``None``.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -152,13 +163,34 @@ class EngineReport:
         return [o.value for o in self.outcomes]
 
 
-def _execute_payload(payload: bytes) -> Tuple[int, Any, float]:
-    """Worker-side entry: unpickle one spec, run it under its task seed."""
-    spec: TaskSpec = pickle.loads(payload)
+def _execute_payload(payload: bytes) -> Tuple[int, Any, float,
+                                              Optional[Dict[str, Any]]]:
+    """Worker-side entry: unpickle one spec, run it under its task seed.
+
+    With telemetry enabled, the task runs against a fresh task-local
+    registry (so concurrent tasks in a forked pool cannot interleave,
+    and serial tasks stay separable) and its picklable snapshot rides
+    home in the fourth tuple slot.  The caller's enablement travels
+    inside the payload, so spawn-started workers (which do not inherit
+    the parent's module state) still collect when the parent does.
+    """
+    spec, collect = pickle.loads(payload)
     started = time.perf_counter()
-    with seeding.task_seed(spec.seed):
-        value = spec.fn(*spec.args, **dict(spec.kwargs or {}))
-    return spec.task_id, value, time.perf_counter() - started
+    snapshot: Optional[Dict[str, Any]] = None
+    if collect or obs_metrics.enabled():
+        prev = obs_metrics.get_registry()
+        task_reg = obs_metrics.MetricsRegistry()
+        obs_metrics.set_registry(task_reg)
+        try:
+            with seeding.task_seed(spec.seed):
+                value = spec.fn(*spec.args, **dict(spec.kwargs or {}))
+        finally:
+            obs_metrics.set_registry(prev)
+        snapshot = task_reg.snapshot()
+    else:
+        with seeding.task_seed(spec.seed):
+            value = spec.fn(*spec.args, **dict(spec.kwargs or {}))
+    return spec.task_id, value, time.perf_counter() - started, snapshot
 
 
 @dataclass
@@ -210,15 +242,43 @@ class Engine:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate task_id in batch")
         started = time.perf_counter()
-        pendings = [_Pending(spec=s, payload=pickle.dumps(s)) for s in specs]
-        if self.workers == 1:
-            outcomes, retries = self._run_serial(pendings)
-        else:
-            outcomes, retries = self._run_parallel(pendings)
+        collect = obs_metrics.enabled()
+        pendings = [_Pending(spec=s, payload=pickle.dumps((s, collect)))
+                    for s in specs]
+        with get_tracer().span("engine.run", tasks=len(specs),
+                               workers=self.workers):
+            if self.workers == 1:
+                outcomes, retries = self._run_serial(pendings)
+            else:
+                outcomes, retries = self._run_parallel(pendings)
         outcomes.sort(key=lambda o: o.task_id)
+        self._publish_telemetry(outcomes, retries)
         return EngineReport(outcomes=outcomes, workers=self.workers,
                             wall_time_s=time.perf_counter() - started,
                             retries=retries)
+
+    @staticmethod
+    def _publish_telemetry(outcomes: Sequence[TaskOutcome],
+                           retries: int) -> None:
+        """Fold per-task metric snapshots into the caller's registry.
+
+        Snapshots merge in task-id order (``outcomes`` arrives sorted),
+        matching the deterministic result merge, with each series gaining
+        a ``task=<id>`` label.  No-op when telemetry is disabled.
+        """
+        reg = obs_metrics.get_registry()
+        if not reg:
+            return
+        for o in outcomes:
+            if o.metrics is not None:
+                reg.merge(o.metrics, extra_labels={"task": o.task_id})
+            reg.observe("engine.task_s", o.wall_time_s)
+        reg.inc("engine.tasks", len(outcomes))
+        if retries:
+            reg.inc("engine.retries", retries)
+        failures = sum(1 for o in outcomes if not o.ok)
+        if failures:
+            reg.inc("engine.failures", failures)
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any], *,
             seed_root: Optional[int] = None) -> EngineReport:
@@ -243,7 +303,7 @@ class Engine:
     def _attempt_inprocess(pending: _Pending) -> TaskOutcome:
         pending.attempts += 1
         try:
-            task_id, value, wall = _execute_payload(pending.payload)
+            task_id, value, wall, snap = _execute_payload(pending.payload)
         except Exception as exc:                      # deterministic: no retry
             return TaskOutcome(
                 task_id=pending.spec.task_id,
@@ -254,7 +314,7 @@ class Engine:
                     traceback=traceback.format_exc()),
                 attempts=pending.attempts)
         return TaskOutcome(task_id=task_id, value=value, wall_time_s=wall,
-                           attempts=pending.attempts)
+                           attempts=pending.attempts, metrics=snap)
 
     # -- parallel path ------------------------------------------------------
     def _new_pool(self, workers: int) -> ProcessPoolExecutor:
@@ -315,7 +375,7 @@ class Engine:
     def _classify(fut: Future, pending: _Pending) -> Optional[TaskOutcome]:
         """Outcome for a settled future; ``None`` flags a worker crash."""
         try:
-            task_id, value, wall = fut.result()
+            task_id, value, wall, snap = fut.result()
         except (BrokenProcessPool, OSError):
             return None
         except Exception as exc:
@@ -328,7 +388,7 @@ class Engine:
                     traceback=traceback.format_exc()),
                 attempts=pending.attempts)
         return TaskOutcome(task_id=task_id, value=value, wall_time_s=wall,
-                           attempts=pending.attempts)
+                           attempts=pending.attempts, metrics=snap)
 
     def _retry_isolated(self, pending: _Pending) -> Tuple[TaskOutcome, int]:
         """Re-run a crash casualty alone so a poison task cannot take

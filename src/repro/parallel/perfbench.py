@@ -17,10 +17,17 @@ verification), plus the machine context (CPU count) needed to interpret
 the numbers: speedup tracks physical cores, so a 1-core container
 reports ~1x no matter how many workers it spawns.
 
+``--profile`` additionally runs the *serial* leg under the telemetry
+tracer (:mod:`repro.obs`) and attaches a per-stage ``hot_paths``
+attribution (net.advance / controller.decide / ppo.update / ...) to
+each workload entry — the serial-vs-parallel fingerprint check then
+doubles as a live proof that instrumentation does not change results.
+
 Usage::
 
     python -m repro bench --quick --workers 2          # CI smoke
     python -m repro bench --workers 8 --out BENCH_parallel.json
+    python -m repro bench --quick --workers 2 --profile
 """
 
 from __future__ import annotations
@@ -164,16 +171,34 @@ def _feed(h, value: Any) -> None:
 
 
 # ------------------------------------------------------------- harness
-def _run_workload(name: str, quick: bool, workers: int) -> Dict[str, Any]:
+def _run_workload(name: str, quick: bool, workers: int,
+                  profile: bool = False) -> Dict[str, Any]:
     build = WORKLOADS[name]
     t0 = time.perf_counter()
     serial_specs = build(quick)
     parallel_specs = build(quick)
     spec_build_s = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    serial: EngineReport = Engine(workers=1).run(serial_specs)
-    serial_run_s = time.perf_counter() - t0
+    hot_paths: Optional[Dict[str, Any]] = None
+    if profile:
+        import repro.obs as obs
+        from repro.obs.profile import hot_path_attribution
+        _, tracer = obs.enable()
+        try:
+            t0 = time.perf_counter()
+            serial: EngineReport = Engine(workers=1).run(serial_specs)
+            serial_run_s = time.perf_counter() - t0
+            hot_paths = {
+                span: {"total_s": round(d["total_s"], 6),
+                       "count": d["count"],
+                       "mean_s": round(d["mean_s"], 9)}
+                for span, d in hot_path_attribution(tracer).items()}
+        finally:
+            obs.disable()
+    else:
+        t0 = time.perf_counter()
+        serial = Engine(workers=1).run(serial_specs)
+        serial_run_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     parallel: EngineReport = Engine(workers=workers).run(parallel_specs)
@@ -185,7 +210,7 @@ def _run_workload(name: str, quick: bool, workers: int) -> Dict[str, Any]:
     results_match = _fingerprint(s_values) == _fingerprint(p_values)
     verify_s = time.perf_counter() - t0
 
-    return {
+    out: Dict[str, Any] = {
         "name": name,
         "tasks": serial.n_tasks,
         "serial": {
@@ -209,11 +234,15 @@ def _run_workload(name: str, quick: bool, workers: int) -> Dict[str, Any]:
             "verify_s": round(verify_s, 6),
         },
     }
+    if hot_paths is not None:
+        out["hot_paths"] = hot_paths
+    return out
 
 
 def run_bench(*, workers: int = 4, quick: bool = False,
               workloads: Optional[Sequence[str]] = None,
-              out: Optional[str] = DEFAULT_OUT) -> Dict[str, Any]:
+              out: Optional[str] = DEFAULT_OUT,
+              profile: bool = False) -> Dict[str, Any]:
     """Run the serial-vs-parallel benchmark; returns (and writes) the report."""
     if workers < 2:
         raise ValueError("bench needs --workers >= 2 to compare against serial")
@@ -226,12 +255,13 @@ def run_bench(*, workers: int = 4, quick: bool = False,
     for name in names:
         print(f"bench: {name} (serial then {workers} workers) ...",
               file=sys.stderr)
-        results.append(_run_workload(name, quick, workers))
+        results.append(_run_workload(name, quick, workers, profile=profile))
     serial_total = sum(w["serial"]["wall_s"] for w in results)
     parallel_total = sum(w["parallel"]["wall_s"] for w in results)
     report = {
         "schema": BENCH_SCHEMA,
         "quick": bool(quick),
+        "profiled": bool(profile),
         "workers": workers,
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
@@ -265,6 +295,14 @@ def _print_report(report: Dict[str, Any]) -> None:
     print(f"{'total':<16} {'':>5} {t['serial_s']:>9.3f} "
           f"{t['parallel_s']:>11.3f} {t['speedup']:>8.2f} "
           f"{'yes' if t['all_results_match'] else 'NO':>6}")
+    for w in report["workloads"]:
+        hp = w.get("hot_paths")
+        if not hp:
+            continue
+        print(f"\n-- hot paths: {w['name']} (serial leg) --")
+        for span, d in sorted(hp.items(), key=lambda kv: -kv[1]["total_s"]):
+            print(f"  {span:<20} {d['total_s']:>9.3f}s  x{d['count']:<7} "
+                  f"mean {d['mean_s'] * 1e6:>9.1f}us")
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -280,13 +318,17 @@ def build_bench_parser() -> argparse.ArgumentParser:
                    default=None, help="subset of workloads to run")
     p.add_argument("--out", default=DEFAULT_OUT,
                    help=f"output JSON path (default {DEFAULT_OUT})")
+    p.add_argument("--profile", action="store_true",
+                   help="trace the serial leg and attach per-stage "
+                        "hot-path attribution to the report")
     return p
 
 
 def bench_main(argv: Optional[List[str]] = None) -> int:
     args = build_bench_parser().parse_args(argv)
     report = run_bench(workers=args.workers, quick=args.quick,
-                       workloads=args.workload, out=args.out)
+                       workloads=args.workload, out=args.out,
+                       profile=args.profile)
     _print_report(report)
     print(f"\nwrote {args.out}")
     if not report["total"]["all_results_match"]:

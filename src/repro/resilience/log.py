@@ -13,12 +13,20 @@ recovery times) and by the ``python -m repro chaos`` report.  Its
 :meth:`FaultLog.signature` is a pure-data fingerprint used by the
 determinism acceptance check: two seeded chaos runs must produce
 identical signatures.
+
+When telemetry is enabled (:mod:`repro.obs`), every recorded fault is
+also published on the shared bus — a ``fault.<kind>`` tracer event plus
+a ``faults`` counter — so chaos injections and guard reactions appear
+inline with the control-loop spans in one trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 __all__ = ["FaultEvent", "FaultLog"]
 
@@ -57,6 +65,10 @@ class FaultLog:
         ev = FaultEvent(time=float(time), seq=len(self.events), kind=kind,
                         switch=switch, detail=dict(detail or {}))
         self.events.append(ev)
+        # Mirror onto the telemetry bus (no-op when obs is disabled).
+        get_tracer().event(f"fault.{kind}", now=ev.time, switch=switch,
+                           **{k: repr(v) for k, v in ev.detail.items()})
+        get_registry().inc("faults", kind=kind)
         return ev
 
     # -- queries -------------------------------------------------------------

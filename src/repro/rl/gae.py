@@ -6,13 +6,26 @@ bootstrap value of the final state, GAE computes::
     delta_t = r_t + gamma * V(s_{t+1}) - V(s_t)              (Eq. 10)
     A_t     = delta_t + (gamma*lambda) * delta_{t+1} + ...   (Eq. 9)
 
-Episode truncation is handled through ``dones``: a terminal step does not
-bootstrap from the next state.
+Episode boundaries are handled through ``dones`` — and the *kind* of
+boundary matters:
+
+- a **terminated** step (``dones[t]`` True, not truncated) reached an
+  absorbing state: nothing follows, so no bootstrap (``V(s_{t+1}) = 0``);
+- a **truncated** step (``dones[t]`` True and ``truncateds[t]`` True)
+  merely hit a time limit — the environment would have kept paying
+  reward, so the delta must bootstrap ``gamma * V(s_{t+1})`` from
+  ``bootstrap_values[t]`` (the critic's value of the state the episode
+  was cut off at).  The advantage chain still resets: credit never
+  flows across episode boundaries.
+
+Conflating the two (the pre-fix behaviour) zeroes ``V(s_T)`` at every
+time-limit boundary and biases returns low on continuing tasks — which
+is *every* task in this repo, since ECN tuning has no terminal states.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -20,7 +33,10 @@ __all__ = ["compute_gae", "discounted_returns"]
 
 
 def compute_gae(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
-                last_value: float, gamma: float, lam: float) -> Tuple[np.ndarray, np.ndarray]:
+                last_value: float, gamma: float, lam: float,
+                truncateds: Optional[np.ndarray] = None,
+                bootstrap_values: Optional[np.ndarray] = None
+                ) -> Tuple[np.ndarray, np.ndarray]:
     """Compute GAE advantages and bootstrapped returns.
 
     Parameters
@@ -29,9 +45,21 @@ def compute_gae(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
         Arrays of equal length T; ``values[t] = V(s_t)``, ``dones[t]`` is
         True when ``s_{t+1}`` starts a new episode.
     last_value:
-        ``V(s_T)``, the bootstrap value of the state after the rollout.
+        ``V(s_T)``, the bootstrap value of the state after the rollout
+        (used when the rollout does not end on a ``done``).
     gamma, lam:
         Discount factor and the GAE lambda.
+    truncateds:
+        Optional bool array of length T; ``truncateds[t]`` marks
+        ``dones[t]`` as a time-limit truncation rather than a true
+        termination.  A truncated step bootstraps
+        ``gamma * bootstrap_values[t]`` in its delta while still cutting
+        the advantage chain.
+    bootstrap_values:
+        ``V`` of the successor state for each truncated step (ignored
+        elsewhere).  Required semantically when ``truncateds`` has any
+        True entry; missing values default to 0 (the old, biased
+        behaviour) so callers can opt in incrementally.
 
     Returns
     -------
@@ -45,13 +73,30 @@ def compute_gae(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
     if not (len(rewards) == len(values) == len(dones)):
         raise ValueError("rewards, values, dones must have equal length")
     T = len(rewards)
+    if truncateds is not None:
+        truncateds = np.asarray(truncateds, dtype=bool)
+        if len(truncateds) != T:
+            raise ValueError("truncateds must match rewards length")
+    if bootstrap_values is not None:
+        bootstrap_values = np.asarray(bootstrap_values, dtype=np.float64)
+        if len(bootstrap_values) != T:
+            raise ValueError("bootstrap_values must match rewards length")
     adv = np.zeros(T)
     gae = 0.0
     next_value = float(last_value)
     for t in range(T - 1, -1, -1):
-        nonterminal = 0.0 if dones[t] else 1.0
-        delta = rewards[t] + gamma * next_value * nonterminal - values[t]
-        gae = delta + gamma * lam * nonterminal * gae
+        if dones[t]:
+            # Episode boundary: the chain resets; only a truncation
+            # bootstraps the successor state's value into the delta.
+            boot = 0.0
+            if truncateds is not None and truncateds[t] \
+                    and bootstrap_values is not None:
+                boot = float(bootstrap_values[t])
+            delta = rewards[t] + gamma * boot - values[t]
+            gae = delta
+        else:
+            delta = rewards[t] + gamma * next_value - values[t]
+            gae = delta + gamma * lam * gae
         adv[t] = gae
         next_value = values[t]
     returns = adv + values
@@ -59,16 +104,30 @@ def compute_gae(rewards: np.ndarray, values: np.ndarray, dones: np.ndarray,
 
 
 def discounted_returns(rewards: np.ndarray, dones: np.ndarray, last_value: float,
-                       gamma: float) -> np.ndarray:
-    """Plain rewards-to-go with bootstrap (Algorithm 1, line 6)."""
+                       gamma: float, truncateds: Optional[np.ndarray] = None,
+                       bootstrap_values: Optional[np.ndarray] = None
+                       ) -> np.ndarray:
+    """Plain rewards-to-go with bootstrap (Algorithm 1, line 6).
+
+    Truncation handling mirrors :func:`compute_gae`: a truncated step
+    restarts the running return from ``bootstrap_values[t]`` instead of
+    zero.
+    """
     rewards = np.asarray(rewards, dtype=np.float64)
     dones = np.asarray(dones, dtype=bool)
+    if truncateds is not None:
+        truncateds = np.asarray(truncateds, dtype=bool)
+    if bootstrap_values is not None:
+        bootstrap_values = np.asarray(bootstrap_values, dtype=np.float64)
     T = len(rewards)
     out = np.zeros(T)
     running = float(last_value)
     for t in range(T - 1, -1, -1):
         if dones[t]:
             running = 0.0
+            if truncateds is not None and truncateds[t] \
+                    and bootstrap_values is not None:
+                running = float(bootstrap_values[t])
         running = rewards[t] + gamma * running
         out[t] = running
     return out

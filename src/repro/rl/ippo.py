@@ -65,12 +65,26 @@ class IPPOTrainer:
     def record(self, observations: Mapping[Hashable, np.ndarray],
                decisions: Mapping[Hashable, Mapping[str, float]],
                rewards: Mapping[Hashable, float],
-               dones: Mapping[Hashable, bool]) -> None:
-        """Store one transition per agent (local experience only)."""
+               dones: Mapping[Hashable, bool],
+               truncateds: Optional[Mapping[Hashable, bool]] = None,
+               bootstrap_values: Optional[Mapping[Hashable, float]] = None
+               ) -> None:
+        """Store one transition per agent (local experience only).
+
+        ``truncateds`` marks per-agent time-limit cut-offs (the
+        multi-agent env surfaces one shared flag via
+        ``info["TimeLimit.truncated"]``); truncated steps bootstrap
+        through the boundary instead of zeroing ``V`` — see
+        :meth:`repro.rl.ppo.PPOAgent.record`.
+        """
         for aid, obs in observations.items():
             d = decisions[aid]
-            self.agents[aid].record(obs, int(d["action"]), rewards[aid],
-                                    bool(dones[aid]), d["log_prob"], d["value"])
+            self.agents[aid].record(
+                obs, int(d["action"]), rewards[aid], bool(dones[aid]),
+                d["log_prob"], d["value"],
+                truncated=bool(truncateds.get(aid, False)) if truncateds else False,
+                bootstrap_value=(bootstrap_values.get(aid)
+                                 if bootstrap_values else None))
 
     def update(self, last_observations: Optional[Mapping[Hashable, np.ndarray]] = None
                ) -> Dict[Hashable, Dict[str, float]]:

@@ -20,12 +20,27 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.rl.gae import compute_gae
 from repro.rl.nn import MLP, clip_gradients
 from repro.rl.optim import Adam
 from repro.rl.policy import CategoricalPolicy, softmax
 
-__all__ = ["PPOConfig", "RolloutBuffer", "PPOAgent"]
+__all__ = ["PPOConfig", "RolloutBuffer", "PPOAgent", "approx_kl_k3"]
+
+
+def approx_kl_k3(old_logp: np.ndarray, new_logp: np.ndarray) -> float:
+    """The k3 KL estimator ``E[(ratio - 1) - log(ratio)]``.
+
+    The naive k1 estimator ``E[old_logp - new_logp]`` is signed: its
+    per-sample terms cancel, it frequently goes negative, and it is
+    useless as a divergence diagnostic.  k3 (Schulman, "Approximating KL
+    Divergence") is non-negative term-by-term — ``(x-1) - log(x) >= 0``
+    for all x > 0 — unbiased, and low-variance, so it is the standard
+    early-stopping/trust-region signal.
+    """
+    log_ratio = np.asarray(new_logp) - np.asarray(old_logp)
+    return float(np.mean((np.exp(log_ratio) - 1.0) - log_ratio))
 
 
 @dataclass
@@ -50,7 +65,13 @@ class PPOConfig:
 
 @dataclass
 class RolloutBuffer:
-    """On-policy trajectory storage for one agent between updates."""
+    """On-policy trajectory storage for one agent between updates.
+
+    ``truncateds[t]`` distinguishes a time-limit cut-off from a true
+    terminal state; ``bootstraps[t]`` carries ``V`` of the successor
+    state for truncated steps (0 elsewhere) so GAE can bootstrap through
+    the boundary (see :func:`repro.rl.gae.compute_gae`).
+    """
 
     obs: List[np.ndarray] = field(default_factory=list)
     actions: List[int] = field(default_factory=list)
@@ -58,22 +79,28 @@ class RolloutBuffer:
     dones: List[bool] = field(default_factory=list)
     log_probs: List[float] = field(default_factory=list)
     values: List[float] = field(default_factory=list)
+    truncateds: List[bool] = field(default_factory=list)
+    bootstraps: List[float] = field(default_factory=list)
 
     def add(self, obs: np.ndarray, action: int, reward: float, done: bool,
-            log_prob: float, value: float) -> None:
+            log_prob: float, value: float, *, truncated: bool = False,
+            bootstrap_value: float = 0.0) -> None:
         self.obs.append(np.asarray(obs, dtype=np.float64).ravel())
         self.actions.append(int(action))
         self.rewards.append(float(reward))
-        self.dones.append(bool(done))
+        self.dones.append(bool(done) or bool(truncated))
         self.log_probs.append(float(log_prob))
         self.values.append(float(value))
+        self.truncateds.append(bool(truncated))
+        self.bootstraps.append(float(bootstrap_value))
 
     def __len__(self) -> int:
         return len(self.obs)
 
     def clear(self) -> None:
         for lst in (self.obs, self.actions, self.rewards, self.dones,
-                    self.log_probs, self.values):
+                    self.log_probs, self.values, self.truncateds,
+                    self.bootstraps):
             lst.clear()
 
 
@@ -104,8 +131,23 @@ class PPOAgent:
         return {"action": a, "log_prob": logp, "value": self.value(obs)}
 
     def record(self, obs: np.ndarray, action: int, reward: float, done: bool,
-               log_prob: float, value: float) -> None:
-        self.buffer.add(obs, action, reward, done, log_prob, value)
+               log_prob: float, value: float, *, truncated: bool = False,
+               bootstrap_value: Optional[float] = None) -> None:
+        """Store one transition.
+
+        ``truncated`` marks a time-limit episode end (Gym's
+        ``info["TimeLimit.truncated"]``): GAE then bootstraps through
+        the boundary instead of zeroing ``V(s_{t+1})``.  For a
+        truncation in the *middle* of a buffer, pass ``bootstrap_value
+        = agent.value(next_obs)`` (the successor state's value — the
+        obs recorded at the next step belongs to a new episode); a
+        truncation on the buffer's *final* step bootstraps automatically
+        from the ``last_obs`` handed to :meth:`update`.
+        """
+        self.buffer.add(obs, action, reward, done, log_prob, value,
+                        truncated=truncated,
+                        bootstrap_value=(0.0 if bootstrap_value is None
+                                         else float(bootstrap_value)))
 
     # -- learning ----------------------------------------------------------
     def update(self, last_obs: Optional[np.ndarray] = None) -> Dict[str, float]:
@@ -123,12 +165,21 @@ class PPOAgent:
         actions = np.asarray(buf.actions, dtype=np.int64)
         old_logp = np.asarray(buf.log_probs)
         values = np.asarray(buf.values)
+        truncateds = np.asarray(buf.truncateds, dtype=bool)
+        bootstraps = np.asarray(buf.bootstraps, dtype=np.float64)
         last_value = 0.0
-        if last_obs is not None and not buf.dones[-1]:
+        if last_obs is not None and (not buf.dones[-1] or truncateds[-1]):
+            # Bootstrap V(s_T) when the rollout is cut off rather than
+            # terminated — a time-limit boundary is not an absorbing
+            # state (the headline fix of docs/OBSERVABILITY.md's PR).
             last_value = self.value(last_obs)
+        if truncateds[-1] and bootstraps[-1] == 0.0:
+            bootstraps[-1] = last_value
         adv, returns = compute_gae(np.asarray(buf.rewards), values,
                                    np.asarray(buf.dones), last_value,
-                                   cfg.gamma, cfg.gae_lambda)
+                                   cfg.gamma, cfg.gae_lambda,
+                                   truncateds=truncateds,
+                                   bootstrap_values=bootstraps)
         if cfg.normalize_advantages and len(adv) > 1:
             adv = (adv - adv.mean()) / (adv.std() + 1e-8)
 
@@ -148,6 +199,12 @@ class PPOAgent:
                 batches += 1
         for k in stats:
             stats[k] /= max(batches, 1)
+        reg = get_registry()
+        if reg:
+            reg.inc("ppo.updates")
+            reg.inc("ppo.transitions", n)
+            for k, v in stats.items():
+                reg.observe(f"ppo.{k}", v)
         self.updates += 1
         buf.clear()
         return stats
@@ -199,7 +256,7 @@ class PPOAgent:
         clip_gradients(self.critic.gradients().values(), cfg.max_grad_norm)
         self.critic_opt.step()
 
-        approx_kl = float(np.mean(old_logp - new_logp))
+        approx_kl = approx_kl_k3(old_logp, new_logp)
         clip_frac = float(np.mean(np.abs(ratio - 1.0) > cfg.clip_eps))
         return {"policy_loss": policy_loss, "value_loss": value_loss,
                 "entropy": float(entropy.mean()), "approx_kl": approx_kl,

@@ -66,6 +66,55 @@ class TestComputeGAE:
             compute_gae([1.0], [0.5, 0.2], [False], 0.0, 0.9, 0.9)
 
 
+class TestTruncation:
+    """Time-limit truncation vs true termination (the headline bugfix:
+    a truncated step bootstraps V of its successor instead of zeroing)."""
+
+    def test_truncated_step_bootstraps_successor_value(self):
+        adv, ret = compute_gae([1.0], [0.5], [True], last_value=0.0,
+                               gamma=0.9, lam=0.95,
+                               truncateds=[True], bootstrap_values=[2.0])
+        # delta = 1 + 0.9 * V(s_T) - 0.5, V(s_T) = 2 (not zero)
+        assert adv[0] == pytest.approx(2.3)
+        assert ret[0] == pytest.approx(2.8)
+
+    def test_terminated_step_still_zeroes_successor(self):
+        adv, _ = compute_gae([1.0], [0.5], [True], last_value=0.0,
+                             gamma=0.9, lam=0.95,
+                             truncateds=[False], bootstrap_values=[2.0])
+        assert adv[0] == pytest.approx(0.5)    # bootstrap_values ignored
+
+    def test_truncation_still_cuts_advantage_chain(self):
+        """Credit must not flow across the episode boundary even though
+        the delta bootstraps through it."""
+        adv, _ = compute_gae([1.0, 1.0], [0.0, 0.0], [True, False],
+                             last_value=0.0, gamma=0.9, lam=0.9,
+                             truncateds=[True, False],
+                             bootstrap_values=[2.0, 0.0])
+        # step 0 advantage is its own delta only: 1 + 0.9*2 = 2.8
+        assert adv[0] == pytest.approx(2.8)
+
+    def test_missing_bootstrap_values_fall_back_to_old_behaviour(self):
+        adv, _ = compute_gae([1.0], [0.5], [True], last_value=0.0,
+                             gamma=0.9, lam=0.95, truncateds=[True])
+        assert adv[0] == pytest.approx(0.5)
+
+    def test_truncateds_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_gae([1.0], [0.5], [True], 0.0, 0.9, 0.9,
+                        truncateds=[True, False])
+        with pytest.raises(ValueError):
+            compute_gae([1.0], [0.5], [True], 0.0, 0.9, 0.9,
+                        truncateds=[True], bootstrap_values=[1.0, 2.0])
+
+    def test_discounted_returns_restart_from_bootstrap(self):
+        out = discounted_returns([1.0, 1.0], [True, False], last_value=10.0,
+                                 gamma=0.9, truncateds=[True, False],
+                                 bootstrap_values=[5.0, 0.0])
+        assert out[0] == pytest.approx(1.0 + 0.9 * 5.0)
+        assert out[1] == pytest.approx(1.0 + 0.9 * 10.0)
+
+
 class TestDiscountedReturns:
     def test_simple_chain(self):
         out = discounted_returns([1.0, 1.0, 1.0], [False, False, False],

@@ -137,3 +137,29 @@ class TestIPPOOnEnv:
             obs = next_obs
         stats = trainer.update(obs)
         assert set(stats) == set(env.agents)
+
+
+class TestTimeLimitTruncation:
+    """The horizon is a time limit, not a terminal state: done comes with
+    info["TimeLimit.truncated"] so training loops can bootstrap V(s_T)."""
+
+    def test_single_agent_flags_truncation_at_limit(self):
+        env = DCNEnv(env_config(episode_intervals=2))
+        env.reset()
+        _, _, done, info = env.step(0)
+        assert not done
+        assert info["TimeLimit.truncated"] is False
+        _, _, done, info = env.step(0)
+        assert done
+        assert info["TimeLimit.truncated"] is True
+
+    def test_multiagent_flags_truncation_at_limit(self):
+        env = MultiAgentDCNEnv(env_config(episode_intervals=2))
+        obs = env.reset()
+        acts = {a: 0 for a in obs}
+        _, _, dones, info = env.step(acts)
+        assert not any(dones.values())
+        assert info["TimeLimit.truncated"] is False
+        _, _, dones, info = env.step(acts)
+        assert all(dones.values())
+        assert info["TimeLimit.truncated"] is True

@@ -145,3 +145,41 @@ class TestECNConfigModule:
     def test_validation(self):
         with pytest.raises(ValueError):
             ECNConfigModule("leaf0", ActionCodec.compact(), min_interval=-1)
+
+
+class TestThresholdSweepSlotHygiene:
+    """Regression: the threshold sweep used to leave emptied _SlotRecords
+    in the slot list, inflating the window the periodic sweep keys off
+    and growing memory without bound under bursty incast."""
+
+    def _bursty_ncm(self):
+        cfg = PETConfig(history_k=4, ncm_cleanup_interval_slots=10**6,
+                        ncm_memory_threshold_bytes=48 * 2,    # ~2 entries
+                        ncm_threshold_drop_fraction=0.5)
+        return NetworkConditionMonitor("leaf0", cfg)
+
+    def test_sweep_drops_emptied_slots(self):
+        ncm = self._bursty_ncm()
+        for i in range(6):
+            ncm.ingest(mk_stats(flow_obs={i: obs(i, "a", "x", t=i * 1e-3)}),
+                       i * 1e-3)
+        assert ncm.cleanups_threshold >= 1
+        assert all(s.flow_obs for s in ncm._slots)    # no empty husks
+
+    def test_slot_count_stays_bounded_under_burst(self):
+        ncm = self._bursty_ncm()
+        for i in range(50):
+            ncm.ingest(mk_stats(flow_obs={i: obs(i, "a", "x", t=i * 1e-3)}),
+                       i * 1e-3)
+        # pre-fix the list grew ~one emptied slot per sweep; post-fix the
+        # retained slots are exactly the data-bearing ones
+        assert ncm.retained_slots() <= 3
+        assert all(s.flow_obs for s in ncm._slots)
+
+    def test_memory_gauges_emitted_when_enabled(self):
+        import repro.obs as obs_mod
+        with obs_mod.telemetry() as (reg, _):
+            ncm = NetworkConditionMonitor("leaf0", PETConfig())
+            ncm.ingest(mk_stats(flow_obs={1: obs(1, "a", "x")}), 0.0)
+            assert reg.gauge_value("ncm.memory_bytes", switch="leaf0") == 48.0
+            assert reg.gauge_value("ncm.retained_slots", switch="leaf0") == 1.0

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.rl.ppo import PPOAgent, PPOConfig, RolloutBuffer
+from repro.rl.ppo import PPOAgent, PPOConfig, RolloutBuffer, approx_kl_k3
 
 
 def _agent(**overrides):
@@ -96,6 +96,17 @@ class TestPPOAgent:
                    for _ in range(10)}
         assert len(actions) == 1
 
+    def test_update_reports_nonnegative_kl(self):
+        rng = np.random.default_rng(1)
+        agent = _agent(epochs=4, actor_lr=1e-2)
+        for _ in range(32):
+            o = rng.normal(size=3)
+            d = agent.act(o)
+            agent.record(o, d["action"], rng.normal(), False,
+                         d["log_prob"], d["value"])
+        stats = agent.update(last_obs=np.zeros(3))
+        assert stats["approx_kl"] >= 0.0
+
     def test_policy_moves_toward_advantaged_action(self):
         """A single update with positive advantage on one action should
         raise that action's probability (the Eq. 11 ascent direction)."""
@@ -111,3 +122,114 @@ class TestPPOAgent:
         agent.update()
         p_after = agent.policy.probs(obs)[0]
         assert p_after[target] > p_before[target]
+
+
+class TestKLEstimator:
+    """The k3 estimator replacing the signed k1 ``mean(old - new)``."""
+
+    def test_identical_policies_give_zero(self):
+        lp = np.log(np.full(4, 0.25))
+        assert approx_kl_k3(lp, lp) == pytest.approx(0.0)
+
+    def test_nonnegative_where_k1_goes_negative(self):
+        # samples whose likelihood rose under the new policy: k1 < 0
+        old = np.log(np.array([0.5, 0.4, 0.3]))
+        new = np.log(np.array([0.7, 0.6, 0.5]))
+        k1 = float(np.mean(old - new))
+        assert k1 < 0
+        assert approx_kl_k3(old, new) >= 0.0
+
+    def test_termwise_nonnegative(self):
+        rng = np.random.default_rng(0)
+        old = np.log(rng.uniform(0.05, 0.95, size=100))
+        new = np.log(rng.uniform(0.05, 0.95, size=100))
+        log_ratio = new - old
+        terms = (np.exp(log_ratio) - 1.0) - log_ratio
+        assert np.all(terms >= 0.0)       # (x-1) - log(x) >= 0 for x > 0
+        assert approx_kl_k3(old, new) == pytest.approx(terms.mean())
+
+    def test_matches_exact_kl_under_proportional_sampling(self):
+        """With action counts exactly proportional to p, the sample mean
+        of the k3 terms equals KL(p||q) exactly: E_p[r-1] = 0 and
+        E_p[-log r] = KL for r = q/p."""
+        p = np.array([0.5, 0.25, 0.25])
+        q = np.array([0.25, 0.5, 0.25])
+        actions = np.array([0, 0, 1, 2])          # proportions == p
+        old = np.log(p[actions])
+        new = np.log(q[actions])
+        exact = float(np.sum(p * np.log(p / q)))
+        assert approx_kl_k3(old, new) == pytest.approx(exact)
+
+
+class TestTruncationBootstrap:
+    """Regression for the headline bugfix: an episode ending on a time
+    limit must bootstrap V(s_T) into GAE instead of zeroing it."""
+
+    @staticmethod
+    def _capture_gae_args(monkeypatch):
+        import repro.rl.ppo as ppo_mod
+        captured = {}
+        real = ppo_mod.compute_gae
+
+        def spy(rewards, values, dones, last_value, gamma, lam, **kw):
+            captured["dones"] = np.asarray(dones).copy()
+            captured["last_value"] = float(last_value)
+            captured["truncateds"] = np.asarray(kw["truncateds"]).copy()
+            captured["bootstrap_values"] = np.asarray(
+                kw["bootstrap_values"]).copy()
+            return real(rewards, values, dones, last_value, gamma, lam, **kw)
+
+        monkeypatch.setattr(ppo_mod, "compute_gae", spy)
+        return captured
+
+    def _fill(self, agent, obs, n, *, final_done, final_truncated):
+        for i in range(n):
+            d = agent.act(obs)
+            last = i == n - 1
+            agent.record(obs, d["action"], 1.0, final_done and last,
+                         d["log_prob"], d["value"],
+                         truncated=final_truncated and last)
+
+    def test_truncated_episode_end_bootstraps_last_value(self, monkeypatch):
+        captured = self._capture_gae_args(monkeypatch)
+        agent = _agent()
+        obs = np.ones(3)
+        expected_v = agent.value(obs)          # critic pre-update
+        self._fill(agent, obs, 8, final_done=False, final_truncated=True)
+        agent.update(last_obs=obs)
+        assert captured["dones"][-1]           # truncation still ends episode
+        assert captured["truncateds"][-1]
+        assert captured["last_value"] == pytest.approx(expected_v)
+        # the final step's delta bootstraps V(s_T), not zero
+        assert captured["bootstrap_values"][-1] == pytest.approx(expected_v)
+
+    def test_terminated_episode_end_does_not_bootstrap(self, monkeypatch):
+        captured = self._capture_gae_args(monkeypatch)
+        agent = _agent()
+        obs = np.ones(3)
+        self._fill(agent, obs, 8, final_done=True, final_truncated=False)
+        agent.update(last_obs=obs)
+        assert captured["dones"][-1]
+        assert not captured["truncateds"][-1]
+        assert captured["last_value"] == 0.0
+        assert captured["bootstrap_values"][-1] == 0.0
+
+    def test_mid_buffer_truncation_carries_explicit_bootstrap(self, monkeypatch):
+        captured = self._capture_gae_args(monkeypatch)
+        agent = _agent()
+        obs = np.ones(3)
+        d = agent.act(obs)
+        agent.record(obs, d["action"], 1.0, False, d["log_prob"], d["value"],
+                     truncated=True, bootstrap_value=3.5)
+        self._fill(agent, obs, 3, final_done=True, final_truncated=False)
+        agent.update()
+        assert captured["truncateds"][0]
+        assert captured["bootstrap_values"][0] == pytest.approx(3.5)
+
+    def test_buffer_records_truncation_as_done(self):
+        buf = RolloutBuffer()
+        buf.add(np.zeros(3), 0, 1.0, False, 0.0, 0.0, truncated=True)
+        assert buf.dones == [True]
+        assert buf.truncateds == [True]
+        buf.clear()
+        assert buf.truncateds == [] and buf.bootstraps == []
