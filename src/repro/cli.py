@@ -20,6 +20,12 @@ parallel rollout engine itself (docs/PARALLEL.md)::
     python -m repro --scheme pet secn1 secn2 --workers 3
     python -m repro bench --quick --workers 2
 
+Benchmark the fastpath (batched inference / vectorized RL math /
+simulator hot paths) against the reference implementations
+(docs/PERFORMANCE.md)::
+
+    python -m repro bench --hotpath --quick
+
 Run one scenario under full telemetry and emit a JSONL trace plus a
 metrics summary (docs/OBSERVABILITY.md)::
 
@@ -76,8 +82,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.resilience.cli import chaos_main
         return chaos_main(argv[1:])
     if argv and argv[0] == "bench":
+        rest = argv[1:]
+        if "--hotpath" in rest:
+            from repro.fastpath.bench import hotpath_main
+            return hotpath_main([a for a in rest if a != "--hotpath"])
         from repro.parallel.perfbench import bench_main
-        return bench_main(argv[1:])
+        return bench_main(rest)
     if argv and argv[0] == "trace":
         from repro.obs.cli import trace_main
         return trace_main(argv[1:])

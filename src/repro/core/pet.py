@@ -66,7 +66,8 @@ class PETController:
                             entropy_coef=cfg.entropy_coef,
                             epochs=cfg.ppo_epochs,
                             minibatch_size=cfg.minibatch_size,
-                            seed=cfg.seed)
+                            seed=cfg.seed,
+                            fastpath=getattr(cfg, "fastpath", True))
         self.trainer = IPPOTrainer(self.switches, ppo_cfg)
         self.exploration: Dict[str, ExplorationSchedule] = {
             s: ExplorationSchedule(cfg.explore_eps0, cfg.decay_rate,
@@ -124,10 +125,15 @@ class PETController:
         # select and apply new actions
         applied: Dict[str, ECNConfig] = {}
         with tr.span("pet.act", now=now, agents=len(obs_now)):
+            # One exploration-schedule tick per switch (independent
+            # schedules, so pulling them ahead of the batched act is
+            # order-equivalent to the interleaved per-switch loop).
+            epsilons = {s: (self.exploration[s].step() if self.training
+                            else 0.0) for s in obs_now}
+            decisions = self.trainer.act(obs_now, epsilons=epsilons,
+                                         greedy=not self.training)
             for s, obs in obs_now.items():
-                eps = self.exploration[s].step() if self.training else 0.0
-                decision = self.trainer.agents[s].act(obs, epsilon=eps,
-                                                      greedy=not self.training)
+                decision = decisions[s]
                 self._pending[s] = {"obs": obs, **decision}
                 cfgd = self.ecn_cm[s].apply(int(decision["action"]), now,
                                             network)

@@ -1,0 +1,209 @@
+"""Batched cross-agent inference over stacked per-agent MLP weights.
+
+IPPO agents share an architecture but never share parameters, so their
+``A`` per-agent ``(in, out)`` weight matrices stack into one
+``(A, in, out)`` tensor and a tick's ``A`` batch-1 forwards collapse
+into a single stacked :func:`numpy.matmul` — one BLAS call instead of
+``A`` Python round-trips per layer.
+
+Two properties make this safe:
+
+- **Bit-identity.**  Stacked 3-D ``matmul`` dispatches one GEMM per
+  stack slice, so slice ``i`` of ``(A, 1, in) @ (A, in, out)`` is
+  bit-identical to the per-agent ``(1, in) @ (in, out)`` product.  (We
+  deliberately do *not* use ``np.einsum``: its blocked SIMD reduction
+  changes float summation order and is NOT bit-identical to the
+  per-agent matmul.)  Activations and bias adds are elementwise and
+  therefore trivially identical.
+- **Zero staleness.**  :class:`StackedMLPs` *adopts* the agents'
+  parameters: after stacking, each agent's ``Linear.W``/``Linear.b`` is
+  rebound to a view into the stacked tensor, so in-place optimizer
+  steps and ``load_state_dict`` writes update the stacked weights with
+  no re-sync step.
+
+When agent networks diverge in shape or activation (e.g. heterogeneous
+experiments), stacking raises :class:`StackingError` and
+:class:`repro.rl.ippo.IPPOTrainer` falls back transparently to the
+per-agent loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rl.nn import MLP, Linear
+
+__all__ = ["StackingError", "StackedMLPs", "StackedAgents", "stacking_error"]
+
+
+class StackingError(ValueError):
+    """Agent networks cannot be stacked (shape/activation mismatch)."""
+
+
+def stacking_error(agents: Sequence) -> Optional[str]:
+    """Why the agents' networks cannot be stacked, or None if they can."""
+    try:
+        _check_stackable([a.actor for a in agents])
+        _check_stackable([a.critic for a in agents])
+    except StackingError as exc:
+        return str(exc)
+    return None
+
+
+def _check_stackable(mlps: Sequence[MLP]) -> None:
+    if not mlps:
+        raise StackingError("no networks to stack")
+    ref = mlps[0]
+    for mlp in mlps[1:]:
+        if mlp.sizes != ref.sizes:
+            raise StackingError(
+                f"layer sizes diverge: {mlp.sizes} != {ref.sizes}")
+        if getattr(mlp, "activation", None) != getattr(ref, "activation", None):
+            raise StackingError("activations diverge")
+        if len(mlp.layers) != len(ref.layers):
+            raise StackingError("layer counts diverge")
+
+
+class StackedMLPs:
+    """``A`` same-shaped MLPs stacked for one batched forward.
+
+    Parameters are adopted (see module docstring): the constructor copies
+    each agent's weights into the stacked tensors and rebinds the
+    per-agent ``Linear`` parameters to views into them, so the serial
+    nets and the stack share storage forever after.
+    """
+
+    def __init__(self, mlps: Sequence[MLP]) -> None:
+        _check_stackable(mlps)
+        self.n = len(mlps)
+        self.activation = getattr(mlps[0], "activation", "tanh")
+        if self.activation not in ("tanh", "relu"):
+            raise StackingError(f"unsupported activation {self.activation!r}")
+        self.W: List[np.ndarray] = []   # each (A, in, out)
+        self.b: List[np.ndarray] = []   # each (A, 1, out)
+        linear_cols: List[List[Linear]] = []
+        for li, layer in enumerate(mlps[0].layers):
+            if not isinstance(layer, Linear):
+                continue
+            col = []
+            for mlp in mlps:
+                lin = mlp.layers[li]
+                if not isinstance(lin, Linear) or lin.W.shape != layer.W.shape:
+                    raise StackingError("linear layers diverge")
+                col.append(lin)
+            linear_cols.append(col)
+        for col in linear_cols:
+            W = np.stack([lin.W for lin in col])            # (A, in, out)
+            b = np.stack([lin.b for lin in col])[:, None, :]  # (A, 1, out)
+            # Adopt: rebind each agent's parameters to views into the
+            # stack so in-place updates keep both coherent.
+            for a, lin in enumerate(col):
+                lin.W = W[a]
+                lin.b = b[a, 0]
+            self.W.append(W)
+            self.b.append(b)
+        for mlp in mlps:
+            mlp.invalidate_param_cache()
+        self.in_dim = int(mlps[0].sizes[0])
+        self.out_dim = int(mlps[0].sizes[-1])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Batched forward: ``x`` is ``(A, in_dim)`` → ``(A, out_dim)``.
+
+        Row ``i`` is bit-identical to ``mlps[i].forward(x[i:i+1])[0]``.
+        """
+        h = x[:, None, :]                       # (A, 1, in)
+        last = len(self.W) - 1
+        tanh = self.activation == "tanh"
+        for li, (W, b) in enumerate(zip(self.W, self.b)):
+            h = h @ W
+            h += b
+            if li != last:
+                if tanh:
+                    h = np.tanh(h)
+                else:
+                    h = np.where(h > 0, h, 0.0)
+        return h[:, 0, :]
+
+
+class StackedAgents:
+    """Batched act/values over an :class:`IPPOTrainer`'s agents.
+
+    The stack covers every agent in trainer order; calls taking a subset
+    of agents zero-fill the missing rows (stacked GEMMs are per-slice,
+    so absent rows never affect present ones) and sample only the
+    requested agents, replaying each agent's private RNG in exactly the
+    per-agent call order.
+    """
+
+    def __init__(self, agents: Mapping[Hashable, "PPOAgent"]) -> None:  # noqa: F821
+        self.ids: List[Hashable] = list(agents.keys())
+        self.row: Dict[Hashable, int] = {aid: i for i, aid in enumerate(self.ids)}
+        agent_list = list(agents.values())
+        self.agents = agents
+        self.actor = StackedMLPs([a.actor for a in agent_list])
+        self.critic = StackedMLPs([a.critic for a in agent_list])
+        self._obs_buf = np.zeros((len(self.ids), self.actor.in_dim))
+
+    def _gather_obs(self, observations: Mapping[Hashable, np.ndarray]) -> np.ndarray:
+        buf = self._obs_buf
+        for aid, obs in observations.items():
+            buf[self.row[aid]] = obs
+        return buf
+
+    def act(self, observations: Mapping[Hashable, np.ndarray], *,
+            epsilon: float = 0.0, greedy: bool = False,
+            epsilons: Optional[Mapping[Hashable, float]] = None
+            ) -> Dict[Hashable, Dict[str, float]]:
+        """Batched equivalent of the per-agent ``PPOAgent.act`` loop.
+
+        Returns the same ``{aid: {action, log_prob, value}}`` mapping,
+        bit-identical per agent (same logits → same probabilities, and
+        each agent's own generator is consumed in the same sequence as
+        the serial path).
+        """
+        x = self._gather_obs(observations)
+        logits = self.actor.forward(x)          # (A, n_actions)
+        vals = self.critic.forward(x)           # (A, 1)
+        probs = _softmax_rows(logits)
+        out: Dict[Hashable, Dict[str, float]] = {}
+        row = self.row
+        agents = self.agents
+        for aid in observations:
+            i = row[aid]
+            eps = epsilon if epsilons is None else epsilons.get(aid, epsilon)
+            p = probs[i]
+            rng = agents[aid].policy.rng
+            if greedy:
+                a = int(np.argmax(p))
+            elif eps > 0.0 and rng.random() < eps:
+                a = int(rng.integers(p.shape[0]))
+            else:
+                # Inlined ``rng.choice(n, p=p)``: numpy's implementation
+                # normalizes the cumsum, draws one uniform, and
+                # right-searchsorts it — replicated verbatim (same single
+                # RNG draw, same floats), minus its per-call validation.
+                cdf = p.cumsum()
+                cdf /= cdf[-1]
+                a = int(cdf.searchsorted(rng.random(), side="right"))
+            logp = float(np.log(max(p[a], 1e-12)))
+            out[aid] = {"action": a, "log_prob": logp,
+                        "value": float(vals[i, 0])}
+        return out
+
+    def values(self, observations: Mapping[Hashable, np.ndarray]
+               ) -> Dict[Hashable, float]:
+        """Batched equivalent of per-agent ``PPOAgent.value`` calls."""
+        x = self._gather_obs(observations)
+        vals = self.critic.forward(x)
+        return {aid: float(vals[self.row[aid], 0]) for aid in observations}
+
+
+def _softmax_rows(z: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax; row ``i`` bit-identical to
+    ``softmax(z[i:i+1])[0]`` (all operations are row-local)."""
+    z = z - z.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)

@@ -5,6 +5,24 @@ entries in a binary heap; ``seq`` breaks ties FIFO so same-time events
 execute in scheduling order (deterministic runs).  Events can be
 cancelled in O(1) by flagging the handle; cancelled entries are skipped
 at pop time (lazy deletion).
+
+Two heap layouts are supported:
+
+- **fastpath** (default): the heap stores ``(time, seq, Event)``
+  tuples.  Heap sift comparisons then stay entirely in C (tuple
+  comparison on ``(float, int)`` prefixes — ``seq`` is unique, so the
+  ``Event`` element is never compared), eliminating the per-comparison
+  ``Event.__lt__`` Python frames that dominate packet-simulation
+  profiles.  Event ordering is identical to the reference layout, which
+  keys on exactly the same ``(time, seq)`` pair.
+- **reference** (``fastpath=False``): the heap stores ``Event`` objects
+  ordered by ``Event.__lt__``, the pre-existing implementation kept for
+  differential testing (``python -m repro bench --hotpath`` proves the
+  two bit-identical).
+
+``pending()`` is O(1) in both modes via a live-event counter maintained
+at schedule/cancel/pop; the original O(n) heap scan remains as a debug
+assertion under the runtime sanitizer (:mod:`repro.devtools.sanitize`).
 """
 
 from __future__ import annotations
@@ -15,24 +33,39 @@ from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "Simulator"]
 
+_INF = float("inf")
+_heappush = heapq.heappush
+
 
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "executed", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple) -> None:
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: "Optional[Simulator]" = None) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.executed = False
+        self._sim = sim
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled events don't pin objects in the heap.
         self.fn = _noop
         self.args = ()
+        # Transports routinely cancel timer handles that already fired
+        # (e.g. re-arming from within the timer callback); those events
+        # left the live count when they were popped for execution.
+        if not self.executed:
+            sim = self._sim
+            if sim is not None:
+                sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -46,13 +79,25 @@ def _noop(*_args: Any) -> None:
     return None
 
 
-class Simulator:
-    """Event loop with virtual time in seconds."""
+def _sanitizer_enabled() -> bool:
+    from repro.devtools.sanitize import is_enabled
+    return is_enabled()
 
-    def __init__(self) -> None:
+
+class Simulator:
+    """Event loop with virtual time in seconds.
+
+    ``fastpath`` selects the tuple-heap layout (see module docstring);
+    event execution order is identical either way.
+    """
+
+    def __init__(self, *, fastpath: bool = True) -> None:
         self.now = 0.0
-        self._heap: List[Event] = []
+        self.fastpath = bool(fastpath)
+        # fastpath: (time, seq, Event) tuples; reference: Event objects.
+        self._heap: List[Any] = []
         self._seq = itertools.count()
+        self._live = 0
         self._events_processed = 0
 
     # -- scheduling ---------------------------------------------------------
@@ -66,8 +111,12 @@ class Simulator:
         """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        ev = Event(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, ev)
+        ev = Event(time, next(self._seq), fn, args, self)
+        if self.fastpath:
+            _heappush(self._heap, (time, ev.seq, ev))
+        else:
+            _heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     # -- running -------------------------------------------------------------
@@ -79,6 +128,41 @@ class Simulator:
         drained earlier, so repeated ``run(until=...)`` calls advance a
         wall-clock-like timeline.
         """
+        if not self.fastpath:
+            return self._run_reference(until, max_events)
+        # Hot loop: heap ops and attribute lookups bound to locals; the
+        # event batch between heap sifts never re-enters Python for
+        # ordering (tuple comparisons run in C).
+        heap = self._heap
+        heappop = heapq.heappop
+        horizon = _INF if until is None else until
+        processed = 0
+        try:
+            while heap:
+                entry = heap[0]
+                t = entry[0]
+                if t > horizon:
+                    break
+                heappop(heap)
+                ev = entry[2]
+                if ev.cancelled:
+                    continue
+                ev.executed = True
+                self._live -= 1
+                self.now = t
+                ev.fn(*ev.args)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._events_processed += processed
+        if until is not None and self.now < until:
+            self.now = until
+        return processed
+
+    def _run_reference(self, until: Optional[float],
+                       max_events: Optional[int]) -> int:
+        """The pre-existing event loop (``fastpath=False``)."""
         processed = 0
         while self._heap:
             ev = self._heap[0]
@@ -87,6 +171,8 @@ class Simulator:
             heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
+            ev.executed = True
+            self._live -= 1
             self.now = ev.time
             ev.fn(*ev.args)
             processed += 1
@@ -99,13 +185,33 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, if any."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        if self.fastpath:
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
+            return heap[0][0] if heap else None
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def _scan_pending(self) -> int:
+        """O(n) live-event count straight off the heap (debug only)."""
+        if self.fastpath:
+            return sum(1 for entry in self._heap if not entry[2].cancelled)
+        return sum(1 for e in self._heap if not e.cancelled)
 
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of non-cancelled events still queued (O(1)).
+
+        Maintained as a live counter at schedule/cancel/pop; under the
+        runtime sanitizer the original heap scan cross-checks it.
+        """
+        live = self._live
+        if _sanitizer_enabled():
+            scan = self._scan_pending()
+            assert live == scan, (
+                f"pending() counter drifted: counter={live} scan={scan}")
+        return live
 
     @property
     def events_processed(self) -> int:

@@ -92,9 +92,10 @@ class FluidNetwork:
     _MAX_HOPS = 3
 
     def __init__(self, config: Optional[FluidConfig] = None, *,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None, fastpath: bool = True) -> None:
         self.config = config or FluidConfig()
         self.rng = np.random.default_rng(seed)
+        self.fastpath = bool(fastpath)
         cfg = self.config
         self.now = 0.0
 
@@ -156,6 +157,29 @@ class FluidNetwork:
         self._acc_qlen_area = np.zeros(self.n_queues)
         self._acc_time = 0.0
         self._acc_drops = np.zeros(self.n_queues)
+
+        # ---- fastpath scratch (see _step_fast) ------------------------------
+        # Queue-sized buffers are fixed; flow-sized scratch is
+        # (re)allocated lazily as the flow high-water mark grows.
+        if self.fastpath:
+            nq = self.n_queues
+            # One trailing dummy slot: padded path entries (-1) scatter
+            # into it, so the arrivals add needs no validity mask.
+            self._b_arrival_ext = np.zeros(nq + 1)
+            self._b_served = np.zeros(nq)
+            self._qlen_next = np.zeros(nq)
+            self._b_drops = np.zeros(nq)
+            self._b_span = np.zeros(nq)
+            self._b_pmark = np.zeros(nq)
+            self._b_qtmp = np.zeros(nq)
+            self._b_srv = np.zeros(nq)
+            self._b_onem = np.zeros(nq)
+            self._b_hosts = np.ones(cfg.n_hosts)
+        self._fbuf_cap = 0
+        # caches for queue_stats (q_switch is static after construction)
+        self._names_cache: Optional[List[str]] = None
+        self._sw_q_idx: Optional[List[np.ndarray]] = None
+        self._q_switch_list: Optional[List[int]] = None
 
     # ------------------------------------------------------------ topology
     def switch_names(self) -> List[str]:
@@ -240,8 +264,14 @@ class FluidNetwork:
         if not self._pending_sorted:
             self._pending.sort(key=lambda f: f.start_time)
             self._pending_sorted = True
-        while self._pending and self._pending[0].start_time <= self.now:
-            flow = self._pending.pop(0)
+        # Walk an index over the sorted prefix and delete it in one slice
+        # afterwards — the former pop(0)-per-flow loop was O(k·P) in the
+        # pending backlog P every step.
+        pend = self._pending
+        consumed = 0
+        while consumed < len(pend) and pend[consumed].start_time <= self.now:
+            flow = pend[consumed]
+            consumed += 1
             if self._n_flows >= self._cap_flows:
                 self._grow()
             idx = self._free_slot()
@@ -257,6 +287,8 @@ class FluidNetwork:
             self.f_alpha[idx] = 1.0
             self.f_active[idx] = True
             self._route(idx)
+        if consumed:
+            del pend[:consumed]
 
     def _free_slot(self) -> int:
         # O(1): recycle a finished flow's slot, else extend the
@@ -276,8 +308,10 @@ class FluidNetwork:
         if dt <= 0:
             raise ValueError("dt must be positive")
         steps = max(1, int(round(dt / self.config.step_dt)))
+        step = self._step_fast if self.fastpath else self._step
+        step_dt = self.config.step_dt
         for _ in range(steps):
-            self._step(self.config.step_dt)
+            step(step_dt)
         reg = get_registry()
         if reg:
             reg.inc("netsim.advance_calls", sim="fluid")
@@ -285,6 +319,12 @@ class FluidNetwork:
             reg.inc("netsim.virtual_s", dt, sim="fluid")
 
     def _step(self, dt: float) -> None:
+        """Reference step (``fastpath=False``) — the pre-existing loop.
+
+        ``_step_fast`` below is the allocation-reduced rewrite; the two
+        are bit-identical (proved by ``bench --hotpath`` fingerprints and
+        ``tests/test_fastpath.py`` differentials).
+        """
         cfg = self.config
         self.now += dt
         self._activate_due()
@@ -386,16 +426,248 @@ class FluidNetwork:
                 self.latencies.append(
                     (self.now, cfg.base_rtt / 2.0 + qdelay[i]))
 
+    def _alloc_flow_scratch(self) -> None:
+        cap = self._cap_flows
+        for name in ("_b_send", "_b_nomark", "_b_bneck", "_b_qdelay",
+                     "_b_mark", "_b_f1", "_b_f2"):
+            setattr(self, name, np.zeros(cap))
+        # (cap, H) matrices for the whole-path gathers in _step_fast
+        hops = self._MAX_HOPS
+        self._b_safe = np.zeros((cap, hops), dtype=np.int64)
+        self._b_notval = np.zeros((cap, hops), dtype=bool)
+        self._b_g2 = np.zeros((cap, hops))
+        self._b_d2 = np.zeros((cap, hops))
+        self._b_m1 = np.zeros(cap, dtype=bool)
+        self._b_m2 = np.zeros(cap, dtype=bool)
+        self._fbuf_cap = cap
+
+    def _step_fast(self, dt: float) -> None:
+        """Loop-tightened fluid step — bit-identical to :meth:`_step`.
+
+        Every elementwise operation keeps the reference's order and
+        associativity (commutative scalar-array products aside, which
+        are exact in IEEE-754); temporaries live in preallocated scratch
+        buffers, gathers (``path[idx]``, ``send[idx]``) happen once
+        instead of per hop, and ``np.clip`` calls become the equivalent
+        ``maximum``/``minimum`` pairs.  Masked updates use ufunc
+        ``where=``/``copyto`` which, like the reference's fancy-index
+        assignments, leave unselected elements untouched.
+        """
+        cfg = self.config
+        self.now += dt
+        self._activate_due()
+        n = self._n_flows
+        if n == 0:
+            np.multiply(self.q_len, dt, out=self._b_qtmp)
+            self._acc_qlen_area += self._b_qtmp
+            self._acc_time += dt
+            return
+        if self._fbuf_cap < n:
+            self._alloc_flow_scratch()
+        active = self.f_active[:n]
+        idx = active.nonzero()[0]
+        rate = self.f_rate[:n]
+
+        # --- NIC sharing: cap the sum of a host's flow rates at line rate.
+        line = cfg.host_rate_bps / 8.0
+        src = self.f_src[:n]
+        send = self._b_send[:n]
+        send.fill(0.0)
+        np.copyto(send, rate, where=active)
+        send_idx = send[idx]
+        per_src = np.bincount(src[idx], weights=send_idx,
+                              minlength=cfg.n_hosts)
+        over = per_src > line
+        if over.any():
+            scale_src = self._b_hosts
+            scale_src.fill(1.0)
+            scale_src[over] = line / per_src[over]
+            send *= scale_src[src]
+            send_idx = send[idx]
+
+        # --- arrivals per queue ------------------------------------------
+        # One hop-major scatter-add.  ``add.at`` iterates the broadcast
+        # (H, k) index row-major — hop 0 for every flow, then hop 1, ...
+        # — the reference loop's exact accumulation order; padded hops
+        # (-1) land in the trailing dummy slot, so no validity mask is
+        # needed and additions to real queues keep their exact sequence.
+        path = self.f_path[:n]
+        p_idx = path[idx]
+        arrival_ext = self._b_arrival_ext
+        arrival_ext.fill(0.0)
+        p_t = p_idx.T
+        np.add.at(arrival_ext, p_t, np.broadcast_to(send_idx, p_t.shape))
+        arrival = arrival_ext[:-1]
+
+        # --- queue integration & marking -----------------------------------
+        cap = self.q_cap
+        q_len = self.q_len
+        served_rate = self._b_served
+        np.divide(q_len, dt, out=served_rate)
+        served_rate += arrival
+        np.minimum(served_rate, cap, out=served_rate)
+        new_qlen = self._qlen_next
+        np.subtract(arrival, cap, out=new_qlen)
+        new_qlen *= dt
+        new_qlen += q_len
+        np.maximum(new_qlen, 0.0, out=new_qlen)
+        drops = self._b_drops
+        np.subtract(new_qlen, cfg.switch_buffer_bytes, out=drops)
+        np.maximum(drops, 0.0, out=drops)
+        np.minimum(new_qlen, cfg.switch_buffer_bytes, out=new_qlen)
+        # RED mark probability on instantaneous occupancy
+        span = self._b_span
+        np.subtract(self.kmax, self.kmin, out=span)
+        np.maximum(span, 1.0, out=span)
+        p_mark = self._b_pmark
+        np.subtract(new_qlen, self.kmin, out=p_mark)
+        p_mark /= span
+        np.maximum(p_mark, 0.0, out=p_mark)
+        np.minimum(p_mark, 1.0, out=p_mark)
+        p_mark *= self.pmax
+        np.copyto(p_mark, 1.0, where=new_qlen >= self.kmax)
+
+        # --- stats ----------------------------------------------------------
+        qtmp = self._b_qtmp
+        np.multiply(served_rate, dt, out=qtmp)
+        self._acc_tx += qtmp
+        qtmp *= p_mark
+        self._acc_marked += qtmp
+        np.add(q_len, new_qlen, out=qtmp)
+        qtmp *= 0.5
+        qtmp *= dt
+        self._acc_qlen_area += qtmp
+        self._acc_drops += drops
+        self._acc_time += dt
+        # Double-buffer swap: the old q_len array becomes next step's
+        # scratch (external readers always go through the attribute).
+        self.q_len, self._qlen_next = new_qlen, q_len
+        q_len = new_qlen
+
+        # --- end-to-end mark fraction per flow --------------------------------
+        # Whole-path (n, H) gathers + column-sequential reductions replace
+        # the per-hop loop.  Padding identities are IEEE-exact: invalid
+        # hops contribute x1.0 to the no-mark product, min(. , 1.0) to the
+        # bottleneck (srv_ratio <= 1), and +0.0 to the queueing delay, so
+        # every active flow gets exactly the reference's per-hop results.
+        # Inactive rows compute garbage that is never committed (the AIMD
+        # and progress updates below mask on ``active``, and ``send`` is
+        # exactly 0.0 for inactive flows).
+        srv_ratio = self._b_srv
+        np.maximum(arrival, cap, out=srv_ratio)
+        np.divide(cap, srv_ratio, out=srv_ratio)   # <=1 where overloaded
+        hops = self._MAX_HOPS
+        safe = self._b_safe[:n]
+        np.maximum(path, 0, out=safe)
+        notval = self._b_notval[:n]
+        np.less(path, 0, out=notval)
+        g2 = self._b_g2[:n]
+        d2 = self._b_d2[:n]
+        one_m = self._b_onem
+        np.subtract(1.0, p_mark, out=one_m)
+        one_m.take(safe, out=g2)                   # (n, H) of 1 - p_mark
+        np.copyto(g2, 1.0, where=notval)
+        no_mark = self._b_nomark[:n]
+        np.copyto(no_mark, g2[:, 0])
+        for hop in range(1, hops):
+            no_mark *= g2[:, hop]
+        srv_ratio.take(safe, out=d2)
+        np.copyto(d2, 1.0, where=notval)
+        bottleneck = self._b_bneck[:n]
+        np.copyto(bottleneck, d2[:, 0])
+        for hop in range(1, hops):
+            np.minimum(bottleneck, d2[:, hop], out=bottleneck)
+        q_len.take(safe, out=d2)
+        cap.take(safe, out=g2)
+        d2 /= g2
+        np.copyto(d2, 0.0, where=notval)
+        qdelay = self._b_qdelay[:n]
+        np.copyto(qdelay, d2[:, 0])
+        for hop in range(1, hops):
+            qdelay += d2[:, hop]
+        f1 = self._b_f1[:n]
+        f2 = self._b_f2[:n]
+        mark_frac = self._b_mark[:n]
+        np.subtract(1.0, no_mark, out=mark_frac)
+
+        # --- DCQCN-like AIMD ---------------------------------------------------
+        a = self.f_alpha[:n]
+        np.multiply(a, 1.0 - cfg.g, out=f1)
+        np.multiply(mark_frac, cfg.g, out=f2)
+        f1 += f2
+        np.copyto(a, f1, where=active)
+        np.multiply(a, 0.5, out=f1)
+        f1 *= cfg.md_gain
+        f1 *= mark_frac
+        np.subtract(1.0, f1, out=f1)
+        f1 *= rate                                  # rate * cut
+        grow = cfg.ai_fraction * line
+        np.add(rate, grow, out=f2)                  # rate + grow
+        marked = self._b_m1[:n]
+        np.greater(mark_frac, 1e-3, out=marked)
+        np.copyto(f2, f1, where=marked)             # == where(marked, f1, f2)
+        floor = cfg.min_rate_fraction * line
+        np.maximum(f2, floor, out=f2)
+        np.minimum(f2, line, out=f2)
+        np.copyto(rate, f2, where=active)
+
+        # --- progress & completion ---------------------------------------------
+        np.multiply(send, bottleneck, out=f1)       # throughput
+        f1 *= dt
+        self.f_remaining[:n] -= f1
+        finished = self._b_m2[:n]
+        np.less_equal(self.f_remaining[:n], 0.0, out=finished)
+        finished &= active
+        if finished.any():
+            for i in finished.nonzero()[0]:
+                fid = self._idx_to_fid[int(i)]
+                flow = self.flow_objs[fid]
+                # account residual queueing delay into the FCT
+                flow.finish_time = self.now + qdelay[i]
+                flow.bytes_sent = flow.size_bytes
+                flow.bytes_acked = flow.size_bytes
+                self.finished_flows.append(flow)
+                self.f_active[i] = False
+                self.f_remaining[i] = 0.0
+                del self._idx_to_fid[int(i)]
+                self._free_list.append(int(i))
+
+        # --- latency sampling (Fig. 8): one random active flow per step ----------
+        if len(self.latencies) < cfg.latency_sample_cap:
+            act_idx = self.f_active[:n].nonzero()[0]
+            if act_idx.size:
+                i = int(act_idx[self.rng.integers(act_idx.size)])
+                self.latencies.append(
+                    (self.now, cfg.base_rtt / 2.0 + qdelay[i]))
+
     # ------------------------------------------------------------ stats & control
+    def _switch_index_cache(self) -> List[np.ndarray]:
+        """Per-switch queue-index arrays (``q_switch`` is static)."""
+        if self._sw_q_idx is None:
+            self._sw_q_idx = [np.flatnonzero(self.q_switch == s)
+                              for s in range(self.n_switches)]
+        return self._sw_q_idx
+
     def queue_stats(self) -> Dict[str, QueueStats]:
         """Per-switch interval statistics; resets the interval."""
         get_registry().inc("netsim.stats_collections", sim="fluid")
         interval = max(self._acc_time, 1e-12)
-        names = self.switch_names()
+        if self._names_cache is None:
+            self._names_cache = self.switch_names()
+        names = self._names_cache
         out: Dict[str, QueueStats] = {}
         flow_obs_by_switch = self._flow_observations()
+        sw_idx = self._switch_index_cache() if self.fastpath else None
         for s, name in enumerate(names):
-            mask = self.q_switch == s
+            # Gathering by precomputed index array extracts exactly the
+            # same elements in the same order as the boolean mask, so
+            # the pairwise sums are bit-identical.
+            if sw_idx is not None:
+                mask: np.ndarray = sw_idx[s]
+                nq = len(mask)
+            else:
+                mask = self.q_switch == s
+                nq = int(mask.sum())
             tx = float(self._acc_tx[mask].sum())
             marked = float(self._acc_marked[mask].sum())
             avg_q = float(self._acc_qlen_area[mask].sum()) / interval
@@ -408,7 +680,7 @@ class FluidNetwork:
                 tx_bytes=int(tx), tx_marked_bytes=int(marked),
                 dropped_pkts=int(drops // 1000) if drops else 0,
                 capacity_bps=float(self.q_cap[mask].sum() * 8.0),
-                ecn=self._ecn_by_switch[s], n_queues=int(mask.sum()),
+                ecn=self._ecn_by_switch[s], n_queues=nq,
                 flow_obs=flow_obs_by_switch.get(s, {}))
         self._acc_tx[:] = 0.0
         self._acc_marked[:] = 0.0
@@ -419,6 +691,8 @@ class FluidNetwork:
 
     def _flow_observations(self) -> Dict[int, Dict[int, FlowObservation]]:
         """Active-flow observations grouped by every switch on their path."""
+        if self.fastpath:
+            return self._flow_observations_fast()
         out: Dict[int, Dict[int, FlowObservation]] = {}
         n = self._n_flows
         for i in np.flatnonzero(self.f_active[:n]):
@@ -432,6 +706,36 @@ class FluidNetwork:
                 if q < 0:
                     continue
                 out.setdefault(int(self.q_switch[q]), {})[fid] = obs
+        return out
+
+    def _flow_observations_fast(self) -> Dict[int, Dict[int, FlowObservation]]:
+        """Same observations as the reference loop above, built from three
+        vector gathers plus plain-``int`` Python loops (per-element numpy
+        scalar indexing is what dominated the reference's profile).  The
+        vector subtract produces the same bytes as the per-flow scalar
+        subtract, and flows/hops are visited in the same order, so the
+        dicts are equal including insertion order."""
+        out: Dict[int, Dict[int, FlowObservation]] = {}
+        n = self._n_flows
+        act = self.f_active[:n].nonzero()[0]
+        if not act.size:
+            return out
+        seen_v = self.f_size[act] - self.f_remaining[act]
+        paths = self.f_path[act].tolist()
+        if self._q_switch_list is None:
+            self._q_switch_list = [int(s) for s in self.q_switch]
+        qsw = self._q_switch_list
+        idx_to_fid = self._idx_to_fid
+        flow_objs = self.flow_objs
+        now = self.now
+        for i, seen, path_i in zip(act.tolist(), seen_v.tolist(), paths):
+            fid = idx_to_fid[i]
+            flow = flow_objs[fid]
+            obs = FlowObservation(fid, flow.src, flow.dst,
+                                  int(seen if seen > 1.0 else 1.0), now)
+            for q in path_i:
+                if q >= 0:
+                    out.setdefault(qsw[q], {})[fid] = obs
         return out
 
     def switch_queue_indices(self, switch_name: str) -> List[int]:

@@ -88,7 +88,8 @@ class PacketNetwork:
     def __init__(self, config: Optional[TopologyConfig] = None, *,
                  transport: str = "dcqcn", seed: Optional[int] = 0,
                  latency_sample_cap: int = 200_000,
-                 transport_kwargs: Optional[dict] = None) -> None:
+                 transport_kwargs: Optional[dict] = None,
+                 fastpath: bool = True) -> None:
         if transport not in _TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; "
                              f"choose from {sorted(_TRANSPORTS)}")
@@ -96,7 +97,8 @@ class PacketNetwork:
         if transport == "hpcc" and not self.config.int_enabled:
             # HPCC needs telemetry; enable it transparently.
             self.config.int_enabled = True
-        self.sim = Simulator()
+        self.fastpath = bool(fastpath)
+        self.sim = Simulator(fastpath=fastpath)
         self.rng = np.random.default_rng(seed)
         self.topology = LeafSpineTopology(self.config, self.sim, rng=self.rng)
         self.transport_name = transport
@@ -107,6 +109,10 @@ class PacketNetwork:
         self._install_transports(transport, transport_kwargs or {})
         # per-port counter baselines for interval deltas
         self._port_baseline: Dict[Tuple[str, int], Tuple[int, int, int]] = {}
+        # fastpath layout: switch name -> flat list of (tx, marked, drops)
+        # baselines parallel to sw.ports (no tuple-key hashing per port).
+        self._switch_baseline: Dict[str, List[Tuple[int, int, int]]] = {}
+        self._switch_list = list(self.topology.switches())
         self._last_stats_time = 0.0
         self._reset_baselines()
 
@@ -169,13 +175,18 @@ class PacketNetwork:
 
     # -- statistics -----------------------------------------------------------
     def _reset_baselines(self) -> None:
-        for sw in self.topology.switches():
+        now = self.sim.now
+        for sw in self._switch_list:
+            baselines = []
             for i, port in enumerate(sw.ports):
                 c = port.queue.counters
-                self._port_baseline[(sw.name, i)] = (
-                    c.dequeued_bytes, c.dequeued_marked_bytes, c.dropped_pkts)
-                port.queue.reset_time_avg(self.sim.now)
-        self._last_stats_time = self.sim.now
+                snap = (c.dequeued_bytes, c.dequeued_marked_bytes,
+                        c.dropped_pkts)
+                self._port_baseline[(sw.name, i)] = snap
+                baselines.append(snap)
+                port.queue.reset_time_avg(now)
+            self._switch_baseline[sw.name] = baselines
+        self._last_stats_time = now
 
     def queue_stats(self) -> Dict[str, QueueStats]:
         """Interval stats per switch; resets the interval afterwards."""
@@ -183,18 +194,31 @@ class PacketNetwork:
         now = self.sim.now
         interval = max(now - self._last_stats_time, 1e-12)
         out: Dict[str, QueueStats] = {}
-        for sw in self.topology.switches():
+        for sw in self._switch_list:
             tx = marked = drops = 0
             avg_q = 0.0
             flow_obs: Dict[int, FlowObservation] = {}
-            for i, port in enumerate(sw.ports):
-                c = port.queue.counters
-                b_tx, b_m, b_d = self._port_baseline[(sw.name, i)]
-                tx += c.dequeued_bytes - b_tx
-                marked += c.dequeued_marked_bytes - b_m
-                drops += c.dropped_pkts - b_d
-                avg_q += port.queue.time_avg_qlen(now)
-                flow_obs.update(port.queue.flow_obs)
+            if self.fastpath:
+                # Baselines read positionally from the per-switch list —
+                # the same integers the tuple-keyed dict holds, without
+                # per-port key construction and hashing.
+                for (b_tx, b_m, b_d), port in zip(
+                        self._switch_baseline[sw.name], sw.ports):
+                    c = port.queue.counters
+                    tx += c.dequeued_bytes - b_tx
+                    marked += c.dequeued_marked_bytes - b_m
+                    drops += c.dropped_pkts - b_d
+                    avg_q += port.queue.time_avg_qlen(now)
+                    flow_obs.update(port.queue.flow_obs)
+            else:
+                for i, port in enumerate(sw.ports):
+                    c = port.queue.counters
+                    b_tx, b_m, b_d = self._port_baseline[(sw.name, i)]
+                    tx += c.dequeued_bytes - b_tx
+                    marked += c.dequeued_marked_bytes - b_m
+                    drops += c.dropped_pkts - b_d
+                    avg_q += port.queue.time_avg_qlen(now)
+                    flow_obs.update(port.queue.flow_obs)
             out[sw.name] = QueueStats(
                 switch=sw.name, interval=interval,
                 qlen_bytes=float(sw.total_qlen_bytes()),

@@ -45,22 +45,66 @@ class IPPOTrainer:
         if len(set(ids)) != len(ids):
             raise ValueError("agent ids must be unique")
         self.config = config
+        self.fastpath = bool(getattr(config, "fastpath", True))
         self.agents: Dict[Hashable, PPOAgent] = {}
         for i, aid in enumerate(ids):
             seed = None if config.seed is None else config.seed + i
             self.agents[aid] = PPOAgent(replace(config, seed=seed))
+        # Lazily-built batched-inference stack; False means stacking was
+        # attempted and failed (heterogeneous agents) -> per-agent loop.
+        self._stack: object = None
 
     @property
     def agent_ids(self):
         return list(self.agents.keys())
 
+    def _stacked(self):
+        """The batched-inference stack, or None when unavailable.
+
+        Built on first use; a :class:`~repro.fastpath.batched.StackingError`
+        (agents with diverging shapes/activations) disables batching for
+        the trainer's lifetime and the per-agent loops take over.
+        """
+        if not self.fastpath:
+            return None
+        if self._stack is None:
+            from repro.fastpath.batched import StackedAgents, StackingError
+            try:
+                self._stack = StackedAgents(self.agents)
+            except StackingError:
+                self._stack = False
+        return self._stack or None
+
     def act(self, observations: Mapping[Hashable, np.ndarray], *,
-            epsilon: float = 0.0, greedy: bool = False) -> Dict[Hashable, Dict[str, float]]:
-        """Per-agent action selection from per-agent local observations."""
+            epsilon: float = 0.0, greedy: bool = False,
+            epsilons: Optional[Mapping[Hashable, float]] = None
+            ) -> Dict[Hashable, Dict[str, float]]:
+        """Per-agent action selection from per-agent local observations.
+
+        ``epsilons`` optionally overrides ``epsilon`` per agent (the PET
+        controller runs one exploration schedule per switch).  With
+        ``config.fastpath`` the per-agent MLP forwards collapse into one
+        stacked batched forward — bit-identical per agent, including
+        each agent's private sampling stream.
+        """
+        stack = self._stacked()
+        if stack is not None:
+            return stack.act(observations, epsilon=epsilon, greedy=greedy,
+                             epsilons=epsilons)
         out = {}
         for aid, obs in observations.items():
-            out[aid] = self.agents[aid].act(obs, epsilon=epsilon, greedy=greedy)
+            eps = epsilon if epsilons is None else epsilons.get(aid, epsilon)
+            out[aid] = self.agents[aid].act(obs, epsilon=eps, greedy=greedy)
         return out
+
+    def values(self, observations: Mapping[Hashable, np.ndarray]
+               ) -> Dict[Hashable, float]:
+        """Per-agent critic values, batched when fastpath permits."""
+        stack = self._stacked()
+        if stack is not None:
+            return stack.values(observations)
+        return {aid: self.agents[aid].value(obs)
+                for aid, obs in observations.items()}
 
     def record(self, observations: Mapping[Hashable, np.ndarray],
                decisions: Mapping[Hashable, Mapping[str, float]],
@@ -88,13 +132,24 @@ class IPPOTrainer:
 
     def update(self, last_observations: Optional[Mapping[Hashable, np.ndarray]] = None
                ) -> Dict[Hashable, Dict[str, float]]:
-        """Run one PPO update per agent on its own buffer."""
+        """Run one PPO update per agent on its own buffer.
+
+        With fastpath, the per-agent bootstrap values ``V(s_T)`` are
+        evaluated in one stacked critic forward (bit-identical to the
+        per-agent calls) and handed to each learner.
+        """
+        last_values: Dict[Hashable, float] = {}
+        if last_observations:
+            stack = self._stacked()
+            if stack is not None:
+                last_values = stack.values(last_observations)
         stats = {}
         for aid, agent in self.agents.items():
             last_obs = None
             if last_observations is not None:
                 last_obs = last_observations.get(aid)
-            stats[aid] = agent.update(last_obs)
+            lv = last_values.get(aid) if last_obs is not None else None
+            stats[aid] = agent.update(last_obs, last_value=lv)
         return stats
 
     # -- checkpointing (offline pre-training -> online deployment) ---------

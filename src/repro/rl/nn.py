@@ -12,13 +12,16 @@ benchmark harness.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.parallel.seeding import fallback_rng
 
 __all__ = ["Module", "Linear", "Tanh", "ReLU", "MLP"]
+
+_FLOAT64 = np.dtype(np.float64)
 
 
 class Module:
@@ -37,6 +40,17 @@ class Module:
     def gradients(self) -> Dict[str, np.ndarray]:
         """Mapping of parameter name to the accumulated gradient array."""
         return {}
+
+    def param_grad_items(self) -> List[Tuple[str, np.ndarray, np.ndarray]]:
+        """``(name, param, grad)`` triples in a stable order.
+
+        Optimizers iterate this every step; subclasses may cache it (the
+        arrays are mutated in place, never rebound, except by the
+        fastpath weight stacker which calls
+        :meth:`MLP.invalidate_param_cache`).
+        """
+        grads = self.gradients()
+        return [(k, p, grads[k]) for k, p in self.parameters().items()]
 
     def zero_grad(self) -> None:
         for g in self.gradients().values():
@@ -76,14 +90,19 @@ class Linear(Module):
         self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        # Hot path: called once per agent per tick.  Skip the
+        # atleast_2d/asarray round-trip when the input is already a
+        # conformant (batch, features) float64 array.
+        if not (type(x) is np.ndarray and x.ndim == 2 and x.dtype == _FLOAT64):
+            x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         self._x = x
         return x @ self.W + self.b
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
-        grad_out = np.atleast_2d(grad_out)
+        if not (type(grad_out) is np.ndarray and grad_out.ndim == 2):
+            grad_out = np.atleast_2d(grad_out)
         self.dW += self._x.T @ grad_out
         self.db += grad_out.sum(axis=0)
         return grad_out @ self.W.T
@@ -161,6 +180,10 @@ class MLP(Module):
             if not last:
                 self.layers.append(act())
         self.sizes = tuple(sizes)
+        self.activation = activation
+        self._param_cache: Dict[str, np.ndarray] | None = None
+        self._grad_cache: Dict[str, np.ndarray] | None = None
+        self._pg_cache: List[Tuple[str, np.ndarray, np.ndarray]] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         for layer in self.layers:
@@ -173,18 +196,42 @@ class MLP(Module):
         return grad_out
 
     def parameters(self) -> Dict[str, np.ndarray]:
-        out: Dict[str, np.ndarray] = {}
-        for i, layer in enumerate(self.layers):
-            for name, p in layer.parameters().items():
-                out[f"layer{i}.{name}"] = p
-        return out
+        # Cached: parameter arrays are mutated in place (never rebound)
+        # by optimizers and load_state_dict, so the mapping stays valid.
+        # The fastpath weight stacker rebinds them and must call
+        # invalidate_param_cache().
+        if self._param_cache is None:
+            out: Dict[str, np.ndarray] = {}
+            for i, layer in enumerate(self.layers):
+                for name, p in layer.parameters().items():
+                    out[f"layer{i}.{name}"] = p
+            self._param_cache = out
+        return self._param_cache
 
     def gradients(self) -> Dict[str, np.ndarray]:
-        out: Dict[str, np.ndarray] = {}
-        for i, layer in enumerate(self.layers):
-            for name, g in layer.gradients().items():
-                out[f"layer{i}.{name}"] = g
-        return out
+        if self._grad_cache is None:
+            out: Dict[str, np.ndarray] = {}
+            for i, layer in enumerate(self.layers):
+                for name, g in layer.gradients().items():
+                    out[f"layer{i}.{name}"] = g
+            self._grad_cache = out
+        return self._grad_cache
+
+    def param_grad_items(self) -> List[Tuple[str, np.ndarray, np.ndarray]]:
+        if self._pg_cache is None:
+            grads = self.gradients()
+            self._pg_cache = [(k, p, grads[k]) for k, p in self.parameters().items()]
+        return self._pg_cache
+
+    def invalidate_param_cache(self) -> None:
+        """Drop cached parameter/gradient views after arrays were rebound.
+
+        Only the fastpath weight stacker rebinds layer arrays (to views
+        into stacked 3-D tensors); every other mutation is in place.
+        """
+        self._param_cache = None
+        self._grad_cache = None
+        self._pg_cache = None
 
     # -- (de)serialization ------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
@@ -214,7 +261,13 @@ def clip_gradients(grads: Iterable[np.ndarray], max_norm: float) -> float:
     Returns the pre-clip norm (useful for diagnostics).
     """
     grads = list(grads)
-    total = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+    # Single vectorized reduction: np.dot over the raveled gradient is a
+    # fused multiply-accumulate (no g*g temporary per array).
+    sq = 0.0
+    for g in grads:
+        flat = g.ravel()
+        sq += float(np.dot(flat, flat))
+    total = math.sqrt(sq)
     if max_norm > 0 and total > max_norm and total > 0:
         scale = max_norm / total
         for g in grads:

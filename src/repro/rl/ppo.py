@@ -61,6 +61,10 @@ class PPOConfig:
     max_grad_norm: float = 0.5
     normalize_advantages: bool = True
     seed: Optional[int] = None
+    # Use the vectorized/batched implementations (bit-identical to the
+    # reference loops, which remain available with fastpath=False for
+    # differential testing — see docs/PERFORMANCE.md).
+    fastpath: bool = True
 
 
 @dataclass
@@ -115,10 +119,12 @@ class PPOAgent:
         self.critic = MLP([config.obs_dim, *config.hidden, 1],
                           activation="tanh", rng=self.rng)
         self.policy = CategoricalPolicy(self.actor, rng=self.rng)
-        self.actor_opt = Adam(self.actor, config.actor_lr)
-        self.critic_opt = Adam(self.critic, config.critic_lr)
+        fused = bool(getattr(config, "fastpath", True))
+        self.actor_opt = Adam(self.actor, config.actor_lr, fused=fused)
+        self.critic_opt = Adam(self.critic, config.critic_lr, fused=fused)
         self.buffer = RolloutBuffer()
         self.updates = 0
+        self._arange_cache: Dict[int, np.ndarray] = {}
 
     # -- acting ------------------------------------------------------------
     def value(self, obs: np.ndarray) -> float:
@@ -150,8 +156,14 @@ class PPOAgent:
                                          else float(bootstrap_value)))
 
     # -- learning ----------------------------------------------------------
-    def update(self, last_obs: Optional[np.ndarray] = None) -> Dict[str, float]:
+    def update(self, last_obs: Optional[np.ndarray] = None, *,
+               last_value: Optional[float] = None) -> Dict[str, float]:
         """Run PPO epochs over the stored rollout and clear the buffer.
+
+        ``last_value`` optionally supplies the precomputed ``V`` of
+        ``last_obs`` (the batched IPPO path evaluates all agents'
+        critics in one stacked forward); when given it must equal
+        ``self.value(last_obs)``.
 
         Returns diagnostics: mean policy loss, value loss, entropy,
         approximate KL, and clip fraction.
@@ -161,25 +173,27 @@ class PPOAgent:
             return {"policy_loss": 0.0, "value_loss": 0.0, "entropy": 0.0,
                     "approx_kl": 0.0, "clip_frac": 0.0}
         cfg = self.config
+        fast = bool(getattr(cfg, "fastpath", True))
         obs = np.stack(buf.obs)
         actions = np.asarray(buf.actions, dtype=np.int64)
         old_logp = np.asarray(buf.log_probs)
         values = np.asarray(buf.values)
         truncateds = np.asarray(buf.truncateds, dtype=bool)
         bootstraps = np.asarray(buf.bootstraps, dtype=np.float64)
-        last_value = 0.0
+        lv = 0.0
         if last_obs is not None and (not buf.dones[-1] or truncateds[-1]):
             # Bootstrap V(s_T) when the rollout is cut off rather than
             # terminated — a time-limit boundary is not an absorbing
             # state (the headline fix of docs/OBSERVABILITY.md's PR).
-            last_value = self.value(last_obs)
+            lv = self.value(last_obs) if last_value is None else float(last_value)
         if truncateds[-1] and bootstraps[-1] == 0.0:
-            bootstraps[-1] = last_value
+            bootstraps[-1] = lv
         adv, returns = compute_gae(np.asarray(buf.rewards), values,
-                                   np.asarray(buf.dones), last_value,
+                                   np.asarray(buf.dones), lv,
                                    cfg.gamma, cfg.gae_lambda,
                                    truncateds=truncateds,
-                                   bootstrap_values=bootstraps)
+                                   bootstrap_values=bootstraps,
+                                   fastpath=fast)
         if cfg.normalize_advantages and len(adv) > 1:
             adv = (adv - adv.mean()) / (adv.std() + 1e-8)
 
@@ -188,10 +202,26 @@ class PPOAgent:
         stats = {"policy_loss": 0.0, "value_loss": 0.0, "entropy": 0.0,
                  "approx_kl": 0.0, "clip_frac": 0.0}
         batches = 0
+        mbs = cfg.minibatch_size
         for _ in range(cfg.epochs):
             self.rng.shuffle(idx)
-            for start in range(0, n, cfg.minibatch_size):
-                mb = idx[start:start + cfg.minibatch_size]
+            if fast:
+                # One gather per epoch, contiguous views per minibatch —
+                # same minibatch contents as the per-minibatch fancy
+                # indexing below, assembled with one pass.
+                obs_e, act_e = obs[idx], actions[idx]
+                logp_e, adv_e, ret_e = old_logp[idx], adv[idx], returns[idx]
+                for start in range(0, n, mbs):
+                    end = start + mbs
+                    s = self._update_minibatch(
+                        obs_e[start:end], act_e[start:end], logp_e[start:end],
+                        adv_e[start:end], ret_e[start:end])
+                    for k in stats:
+                        stats[k] += s[k]
+                    batches += 1
+                continue
+            for start in range(0, n, mbs):
+                mb = idx[start:start + mbs]
                 s = self._update_minibatch(obs[mb], actions[mb], old_logp[mb],
                                            adv[mb], returns[mb])
                 for k in stats:
@@ -214,12 +244,15 @@ class PPOAgent:
                           returns: np.ndarray) -> Dict[str, float]:
         cfg = self.config
         m = len(obs)
+        rows = self._arange_cache.get(m)
+        if rows is None:
+            rows = self._arange_cache[m] = np.arange(m)
 
         # ---- actor -------------------------------------------------------
         logits = self.actor.forward(obs)
         probs = softmax(logits)
         logp_all = np.log(np.clip(probs, 1e-12, None))
-        new_logp = logp_all[np.arange(m), actions]
+        new_logp = logp_all[rows, actions]
         ratio = np.exp(new_logp - old_logp)
         unclipped = ratio * adv
         clipped = np.clip(ratio, 1.0 - cfg.clip_eps, 1.0 + cfg.clip_eps) * adv
