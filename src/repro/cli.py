@@ -30,6 +30,12 @@ Run one scenario under full telemetry and emit a JSONL trace plus a
 metrics summary (docs/OBSERVABILITY.md)::
 
     python -m repro trace --scenario websearch --seed 0
+
+Static analysis (docs/DEVTOOLS.md): the per-node PET linter and the
+whole-program dataflow analyzer share one front door::
+
+    python -m repro devtools lint
+    python -m repro devtools analyze --baseline ANALYZE_BASELINE.json
 """
 
 from __future__ import annotations
@@ -91,6 +97,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "trace":
         from repro.obs.cli import trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "devtools":
+        from repro.devtools.cli import devtools_main
+        return devtools_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.sanitize or sanitize.enabled_from_env():
         sanitize.enable()

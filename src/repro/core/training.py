@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -303,7 +304,7 @@ def pretrain_one_seed(make_network: Callable[[int], object],
             os.path.join(checkpoint_dir, f"seed-{seed:08d}"),
             keep=checkpoint_keep)
     episodes_out = _run_training_episodes(
-        controller, lambda: make_network(seed), net, episodes=episodes,
+        controller, partial(make_network, seed), net, episodes=episodes,
         intervals_per_episode=intervals_per_episode, delta_t=cfg.delta_t,
         checkpoints=checkpoints, checkpoint_every=checkpoint_every)
     return SeedRunResult(seed=seed, state=controller.state_dict(),

@@ -8,7 +8,15 @@ good as the harness's determinism and unit discipline):
   unseeded randomness in simulation code, no float equality on
   simulation time, unit-suffix discipline, provably non-negative
   ``schedule`` delays, no mutable default arguments.  Run it with
-  ``python -m repro.devtools.lint src/``.
+  ``python -m repro devtools lint`` (or the historical
+  ``python -m repro.devtools.lint src/``).
+- :mod:`repro.devtools.analyze` — a whole-program dataflow analyzer
+  (``PET101``..``PET105``): RNG seed provenance, Engine
+  process-boundary safety, fastpath/reference dual-path parity,
+  iteration-order determinism on merge/export paths, zero-overhead
+  telemetry discipline.  Run it with ``python -m repro devtools
+  analyze``; CI gates on *new* findings against the checked-in
+  ``ANALYZE_BASELINE.json``.
 - :mod:`repro.devtools.sanitize` — a runtime :class:`SimSanitizer`
   that instruments the event engine, queues, markers, and switches to
   check invariants on every event (monotonic virtual time, queue
@@ -27,3 +35,6 @@ __all__ = [
     "RULES", "Violation", "lint_paths", "lint_source",
     "InvariantViolation", "SimSanitizer", "enable", "disable", "is_enabled",
 ]
+
+# repro.devtools.analyze (PET101-105) is imported lazily by the CLI so
+# plain sanitizer users never pay the whole-program model import.

@@ -1,8 +1,21 @@
-"""``python -m repro.devtools`` runs the invariant linter."""
+"""``python -m repro.devtools`` — static-analysis front door.
+
+``python -m repro.devtools lint ...`` / ``... analyze ...`` dispatch to
+the shared CLI (:mod:`repro.devtools.cli`).  Bare invocations keep the
+historical behaviour of running the linter directly
+(``python -m repro.devtools src``).
+"""
 
 import sys
 
-from repro.devtools.lint import main
+
+def _main(argv):
+    if argv and argv[0] in ("lint", "analyze"):
+        from repro.devtools.cli import devtools_main
+        return devtools_main(argv)
+    from repro.devtools.lint import main
+    return main(argv)
+
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_main(sys.argv[1:]))

@@ -44,7 +44,7 @@ def write_jsonl(path: str, tracer: Optional[Tracer] = None,
                 f.write(json.dumps(sp.as_dict(), sort_keys=True) + "\n")
                 lines += 1
         if registry is not None:
-            for series, data in registry.summary().items():
+            for series, data in sorted(registry.summary().items()):
                 f.write(json.dumps({"type": "metric", "series": series,
                                     "data": data}, sort_keys=True) + "\n")
                 lines += 1

@@ -137,12 +137,12 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Any]:
         """Picklable full-state dump (used for cross-process merging)."""
         return {
-            "counters": [(k, v) for k, v in self.counters.items()],
-            "gauges": [(k, v) for k, v in self.gauges.items()],
+            "counters": [(k, v) for k, v in sorted(self.counters.items())],
+            "gauges": [(k, v) for k, v in sorted(self.gauges.items())],
             "histograms": [
                 (k, (s.count, s.total, s.sq_total, s.minimum, s.maximum,
                      list(s.recent)))
-                for k, s in self.histograms.items()],
+                for k, s in sorted(self.histograms.items())],
         }
 
     def merge(self, snapshot: Dict[str, Any],

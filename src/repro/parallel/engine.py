@@ -354,7 +354,9 @@ class Engine:
                     # pool, and give each affected task its isolated retry.
                     if in_flight:
                         wait(list(in_flight))
-                        for fut, pending in in_flight.items():
+                        # Drain order is immaterial: outcomes are re-sorted
+                        # by task id before the merge.
+                        for fut, pending in in_flight.items():  # pet: noqa-PET104
                             outcome = self._classify(fut, pending)
                             if outcome is None:
                                 crashed.append(pending)

@@ -65,9 +65,12 @@ class FaultLog:
         ev = FaultEvent(time=float(time), seq=len(self.events), kind=kind,
                         switch=switch, detail=dict(detail or {}))
         self.events.append(ev)
-        # Mirror onto the telemetry bus (no-op when obs is disabled).
-        get_tracer().event(f"fault.{kind}", now=ev.time, switch=switch,
-                           **{k: repr(v) for k, v in ev.detail.items()})
+        # Mirror onto the telemetry bus; the guard keeps the f-string and
+        # repr() formatting off the disabled-telemetry path.
+        tracer = get_tracer()
+        if tracer:
+            tracer.event(f"fault.{kind}", now=ev.time, switch=switch,
+                         **{k: repr(v) for k, v in ev.detail.items()})
         get_registry().inc("faults", kind=kind)
         return ev
 

@@ -49,11 +49,23 @@ class PiecewiseCDF:
         return out
 
     def quantile(self, q) -> np.ndarray | float:
-        """Value at cumulative probability q (inverse CDF)."""
+        """Value at cumulative probability q (inverse CDF).
+
+        Computed as ``v0 + t * (v1 - v0)`` with the normalized offset
+        ``t = (q - p0) / (p1 - p0)`` taken first: ``np.interp`` forms the
+        segment slope ``dv / dp`` instead, which overflows to ``inf``
+        when a knot interval's probability width is subnormal.
+        """
         q = np.asarray(q, dtype=np.float64)
         if np.any((q < 0) | (q > 1)):
             raise ValueError("quantiles must be in [0, 1]")
-        out = np.interp(q, self.probs, self.values)
+        idx = np.clip(np.searchsorted(self.probs, q, side="left"),
+                      1, len(self.probs) - 1)
+        p0, v0 = self.probs[idx - 1], self.values[idx - 1]
+        dp = self.probs[idx] - p0
+        safe_dp = np.where(dp > 0, dp, 1.0)
+        t = np.clip(np.where(dp > 0, (q - p0) / safe_dp, 1.0), 0.0, 1.0)
+        out = v0 + t * (self.values[idx] - v0)
         return float(out) if out.ndim == 0 else out
 
     def cdf(self, x) -> np.ndarray | float:

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.netsim.flow import Flow
+from repro.parallel.seeding import fallback_rng
 from repro.traffic.cdf import PiecewiseCDF
 
 __all__ = ["TrafficConfig", "PoissonTrafficGenerator"]
@@ -52,7 +53,7 @@ class PoissonTrafficGenerator:
             raise ValueError("need at least two hosts")
         self.hosts = list(hosts)
         self.workload = workload
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else fallback_rng(0)
         self._next_id = first_flow_id
 
     def arrival_rate(self, cfg: TrafficConfig) -> float:

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.netsim.flow import Flow
+from repro.parallel.seeding import fallback_rng
 
 __all__ = ["IncastConfig", "IncastGenerator"]
 
@@ -45,7 +46,7 @@ class IncastGenerator:
         if len(hosts) < 3:
             raise ValueError("need at least three hosts for incast")
         self.hosts = list(hosts)
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng if rng is not None else fallback_rng(0)
         self._next_id = first_flow_id
 
     def generate(self, cfg: IncastConfig,

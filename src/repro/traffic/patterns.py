@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.netsim.flow import Flow
+from repro.parallel.seeding import fallback_rng
 from repro.traffic.generator import PoissonTrafficGenerator, TrafficConfig
 from repro.traffic.workloads import workload_by_name
 
@@ -80,7 +81,7 @@ class PatternSchedule:
 
     def generate_flows(self, hosts: Sequence[str], host_rate_bps: float,
                        rng: Optional[np.random.Generator] = None) -> List[Flow]:
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng(0)
         gen = PoissonTrafficGenerator(hosts, workload_by_name(
             self.segments[0].workload), rng=rng)
         flows: List[Flow] = []

@@ -187,6 +187,49 @@ def test_control_loop_fastpath_bit_identical():
     assert fingerprint(run_f()) == fingerprint(run_r())
 
 
+# The bench workloads above exercise the networks through the harness;
+# the two tests below construct the twins *directly* so the reference
+# legs of FluidNetwork/PacketNetwork (__init__, advance, queue_stats,
+# _flow_observations with fastpath=False) are pinned by name — the
+# PET103 dual-path-parity contract.
+
+def _twin_fluid(fastpath):
+    from repro.netsim.flow import Flow
+    from repro.netsim.fluid import FluidConfig, FluidNetwork
+
+    net = FluidNetwork(FluidConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2,
+                                   host_rate_bps=1e8, spine_rate_bps=4e8),
+                       seed=5, fastpath=fastpath)
+    net.start_flows([Flow(i, f"h{i}", "h3", 120_000) for i in range(3)])
+    for _ in range(5):
+        net.advance(0.002)
+    return net
+
+
+def test_fluid_network_reference_twin_direct():
+    fast, ref = _twin_fluid(True), _twin_fluid(False)
+    assert fast.queue_stats() == ref.queue_stats()
+    assert fast._flow_observations() == ref._flow_observations()
+
+
+def test_packet_network_reference_twin_direct():
+    from repro.netsim.flow import Flow
+    from repro.netsim.network import PacketNetwork
+    from repro.netsim.topology import TopologyConfig
+
+    stats = {}
+    for fastpath in (True, False):
+        net = PacketNetwork(TopologyConfig(n_spine=1, n_leaf=2,
+                                           hosts_per_leaf=2,
+                                           host_rate_bps=1e8,
+                                           spine_rate_bps=4e8),
+                            seed=5, fastpath=fastpath)
+        net.start_flows([Flow(i, f"h{i}", "h3", 30_000) for i in range(3)])
+        net.advance(0.02)
+        stats[fastpath] = net.queue_stats()
+    assert stats[True] == stats[False]
+
+
 # ------------------------------------------------------------ bench harness
 def test_hotpath_bench_quick_smoke(tmp_path):
     import json

@@ -31,6 +31,15 @@ class TestPiecewiseCDF:
         with pytest.raises(ValueError):
             cdf.quantile(1.5)
 
+    def test_quantile_subnormal_prob_interval_stays_finite(self):
+        # np.interp's slope (dv/dp) overflows to inf when a knot
+        # interval's probability width is subnormal; quantile() must not.
+        cdf = PiecewiseCDF([(1, 0.0), (5, 2.2250738585072014e-308),
+                            (6, 1.0)])
+        q = cdf.quantile(2.225073858507203e-309)
+        assert np.isfinite(q)
+        assert 1.0 <= q <= cdf.quantile(1.0)
+
     def test_cdf_inverse_consistency(self):
         cdf = WEB_SEARCH
         for q in (0.1, 0.4, 0.75, 0.95):
