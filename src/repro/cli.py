@@ -36,6 +36,12 @@ whole-program dataflow analyzer share one front door::
 
     python -m repro devtools lint
     python -m repro devtools analyze --baseline ANALYZE_BASELINE.json
+
+Serve a supervised control plane over HTTP with shadow/canary policy
+rollout (docs/SERVING.md), or run its CI smoke check::
+
+    python -m repro serve --port 8321
+    python -m repro serve --smoke --out serve_trace.jsonl
 """
 
 from __future__ import annotations
@@ -83,7 +89,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Dispatch and run; any crash becomes a nonzero exit, not a 0.
+
+    Subcommand and scenario failures are caught here so a crashed run
+    reports exit code 1 with a one-line error on stderr — automation
+    gating on ``$?`` must never see success from a dead run.
+    ``SystemExit`` (argparse) and ``KeyboardInterrupt`` pass through.
+    """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        return _dispatch(argv)
+    except Exception as exc:   # noqa: BLE001 — exit-code contract
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(argv: List[str]) -> int:
     if argv and argv[0] == "chaos":
         from repro.resilience.cli import chaos_main
         return chaos_main(argv[1:])
@@ -100,6 +121,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "devtools":
         from repro.devtools.cli import devtools_main
         return devtools_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import serve_main
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.sanitize or sanitize.enabled_from_env():
         sanitize.enable()

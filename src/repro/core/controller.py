@@ -8,6 +8,15 @@ A controller is driven by the experiment loop once per tuning interval:
 ``decide`` returns the ECN configuration applied per switch this
 interval (possibly empty when nothing changed).  Implementations are
 free to learn online inside ``decide`` when ``training`` is enabled.
+
+**Actuation contract.**  A controller mutates the network *only*
+through the :class:`Actuator` write surface (``set_ecn`` /
+``set_ecn_all``) — never by poking simulator internals.  Every scheme
+in this repo honours that, and the serve control plane
+(:mod:`repro.serve`) depends on it: shadow and deadline-bounded
+evaluation hand ``decide`` a buffering proxy whose ``set_ecn`` records
+instead of applying, which is only sound if ``set_ecn`` is the single
+door to the fabric.
 """
 
 from __future__ import annotations
@@ -17,7 +26,27 @@ from typing import Dict, Protocol
 from repro.netsim.ecn import ECNConfig
 from repro.netsim.network import QueueStats
 
-__all__ = ["Controller"]
+__all__ = ["Controller", "Actuator"]
+
+
+class Actuator(Protocol):
+    """The write surface ``decide`` may touch on its ``network`` argument.
+
+    Both simulators implement it; so does the serve plane's
+    :class:`repro.serve.lifecycle.BufferedNetwork`, which records the
+    calls instead of applying them (shadow scoring, late-action
+    discard).
+    """
+
+    now: float
+
+    def set_ecn(self, switch_name: str, config: ECNConfig) -> None:
+        """Install ``config`` on one switch's queues."""
+        ...
+
+    def set_ecn_all(self, config: ECNConfig) -> None:
+        """Install ``config`` on every switch."""
+        ...
 
 
 class Controller(Protocol):

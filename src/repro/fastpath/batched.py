@@ -200,6 +200,16 @@ class StackedAgents:
         vals = self.critic.forward(x)
         return {aid: float(vals[self.row[aid], 0]) for aid in observations}
 
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe summary of the stack (serve's ``/state`` reports it)."""
+        return {
+            "agents": len(self.ids),
+            "obs_dim": self.actor.in_dim,
+            "n_actions": self.actor.out_dim,
+            "actor_layers": [list(W.shape[1:]) for W in self.actor.W],
+            "critic_layers": [list(W.shape[1:]) for W in self.critic.W],
+        }
+
 
 def _softmax_rows(z: np.ndarray) -> np.ndarray:
     """Row-wise stable softmax; row ``i`` bit-identical to

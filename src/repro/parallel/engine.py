@@ -22,7 +22,11 @@ guarantees the figure pipeline depends on (docs/PARALLEL.md):
    pool; a second death records a structured :class:`TaskFailure`
    instead of hanging or poisoning the batch.  Ordinary exceptions are
    captured as failures immediately (they are deterministic — retrying
-   cannot help) with the traceback preserved.
+   cannot help) with the traceback preserved.  With ``task_timeout_s``
+   set, a *hung* worker is bounded too: past the budget its processes
+   are terminated, the task records a ``Timeout`` failure (no retry),
+   and innocent in-flight tasks are resubmitted — ``run()`` can no
+   longer block forever on one wedged task.
 
 In-flight submissions are bounded (``queue_depth``, default
 ``2 * workers``) so a huge grid does not materialize every pending
@@ -219,20 +223,33 @@ class Engine:
     mp_context:
         Optional :mod:`multiprocessing` context name (``"fork"``,
         ``"spawn"``); ``None`` uses the platform default.
+    task_timeout_s:
+        Per-task wall-clock budget (parallel path only).  A task still
+        running past it is killed — its worker processes are terminated
+        — and recorded as a structured ``Timeout`` :class:`TaskFailure`
+        (never retried: a hang is not a crash).  Innocent tasks
+        in-flight on the terminated pool are resubmitted to a fresh
+        pool without consuming their retry budget.  ``None`` disables
+        enforcement.  The serial path cannot preempt in-process code
+        and ignores it.
     """
 
     def __init__(self, workers: int = 1, *, queue_depth: Optional[int] = None,
-                 max_retries: int = 1, mp_context: Optional[str] = None) -> None:
+                 max_retries: int = 1, mp_context: Optional[str] = None,
+                 task_timeout_s: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if queue_depth is not None and queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive")
         self.workers = workers
         self.queue_depth = queue_depth or max(2 * workers, 2)
         self.max_retries = max_retries
         self.mp_context = mp_context
+        self.task_timeout_s = task_timeout_s
 
     # -- public API ---------------------------------------------------------
     def run(self, specs: Sequence[TaskSpec]) -> EngineReport:
@@ -332,17 +349,37 @@ class Engine:
         retries = 0
         pool = self._new_pool(self.workers)
         in_flight: Dict[Future, _Pending] = {}
+        deadlines: Dict[Future, float] = {}
         try:
             while queue or in_flight:
                 while queue and len(in_flight) < self.queue_depth:
                     pending = queue.popleft()
                     pending.attempts += 1
-                    in_flight[pool.submit(_execute_payload,
-                                          pending.payload)] = pending
-                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                    fut = pool.submit(_execute_payload, pending.payload)
+                    in_flight[fut] = pending
+                    if self.task_timeout_s is not None:
+                        deadlines[fut] = time.monotonic() + self.task_timeout_s
+                wait_s = None
+                if deadlines:
+                    wait_s = max(0.0, min(deadlines.values()) - time.monotonic())
+                done, _ = wait(list(in_flight), timeout=wait_s,
+                               return_when=FIRST_COMPLETED)
+                if deadlines:
+                    expired_now = time.monotonic()
+                    # Expiry order is immaterial: outcomes are re-sorted
+                    # by task id before the merge.
+                    expired = [f for f, dl in deadlines.items()  # pet: noqa-PET104
+                               if f in in_flight and not f.done()
+                               and expired_now >= dl]
+                    if expired:
+                        pool, resubmit = self._expire_tasks(
+                            expired, pool, in_flight, deadlines, outcomes)
+                        queue.extend(resubmit)
+                        continue
                 crashed: List[_Pending] = []
                 for fut in done:
                     pending = in_flight.pop(fut)
+                    deadlines.pop(fut, None)
                     outcome = self._classify(fut, pending)
                     if outcome is None:
                         crashed.append(pending)
@@ -363,6 +400,7 @@ class Engine:
                             else:
                                 outcomes.append(outcome)
                         in_flight.clear()
+                    deadlines.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
                     for pending in crashed:
                         outcome, retried = self._retry_isolated(pending)
@@ -372,6 +410,66 @@ class Engine:
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return outcomes, retries
+
+    def _expire_tasks(self, expired: Sequence[Future],
+                      pool: ProcessPoolExecutor,
+                      in_flight: Dict[Future, _Pending],
+                      deadlines: Dict[Future, float],
+                      outcomes: List[TaskOutcome]
+                      ) -> Tuple[ProcessPoolExecutor, List[_Pending]]:
+        """Kill hung tasks; return a fresh pool and the innocents to rerun.
+
+        A worker stuck in C code or an uninterruptible loop cannot be
+        cancelled through the futures API, so the whole pool's worker
+        processes are terminated.  The expired tasks become ``Timeout``
+        failures (no retry — a hang would just hang again); everything
+        else in flight was collateral and is resubmitted to the new
+        pool with its attempt count rolled back.
+        """
+        for fut in expired:
+            pending = in_flight.pop(fut)
+            deadlines.pop(fut, None)
+            outcomes.append(TaskOutcome(
+                task_id=pending.spec.task_id,
+                failure=TaskFailure(
+                    task_id=pending.spec.task_id,
+                    error_type="Timeout",
+                    message=(f"task exceeded task_timeout_s="
+                             f"{self.task_timeout_s}"),
+                    attempts=pending.attempts, worker_crashed=False),
+                wall_time_s=float(self.task_timeout_s or 0.0),
+                attempts=pending.attempts))
+            get_tracer().event("engine.task_timeout",
+                               task=pending.spec.task_id,
+                               timeout_s=self.task_timeout_s)
+        self._terminate_workers(pool)
+        resubmit: List[_Pending] = []
+        if in_flight:
+            wait(list(in_flight))
+            # Settle order is immaterial: timed-out slots are already
+            # recorded and survivors re-enter the ordered merge.
+            for fut, pending in in_flight.items():  # pet: noqa-PET104
+                outcome = self._classify(fut, pending)
+                if outcome is None:
+                    # Collateral of our terminate, not a real crash.
+                    pending.attempts -= 1
+                    resubmit.append(pending)
+                else:
+                    outcomes.append(outcome)
+            in_flight.clear()
+        deadlines.clear()
+        pool.shutdown(wait=False, cancel_futures=True)
+        return self._new_pool(self.workers), resubmit
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """SIGTERM every live worker process of ``pool``."""
+        # Signal order is immaterial: every worker gets the same SIGTERM.
+        for proc in list((pool._processes or {}).values()):  # pet: noqa-PET104
+            try:
+                proc.terminate()
+            except Exception:   # noqa: BLE001 — already dead is fine
+                pass
 
     @staticmethod
     def _classify(fut: Future, pending: _Pending) -> Optional[TaskOutcome]:

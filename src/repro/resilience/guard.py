@@ -28,7 +28,11 @@ bug that surfaces the same way:
 
 Everything the guard does is recorded in a structured
 :class:`~repro.resilience.log.FaultLog`, consumed by
-:mod:`repro.analysis.resilience`.  Invariant violations raised by the
+:mod:`repro.analysis.resilience`; quarantine/probation state is
+additionally exported as :mod:`repro.obs` gauges (``guard.quarantined``,
+``guard.strikes{switch}``, ``guard.state{switch}``) so out-of-band
+consumers (``/health``, ``repro trace``) never call
+:meth:`~ResilientController.health_report` in-band.  Invariant violations raised by the
 devtools sanitizer are *not* swallowed: they indicate a harness bug,
 not a runtime fault.
 """
@@ -42,9 +46,31 @@ from typing import Dict, List, Optional
 from repro.devtools.sanitize import (ECN_KMAX_CEILING_BYTES,
                                      InvariantViolation)
 from repro.netsim.ecn import SECN1, ECNConfig
+from repro.obs.metrics import get_registry
 from repro.resilience.log import FaultLog
 
-__all__ = ["GuardConfig", "SwitchHealth", "ResilientController"]
+__all__ = ["GuardConfig", "SwitchHealth", "ResilientController",
+           "config_in_bounds"]
+
+
+def config_in_bounds(config: ECNConfig, *,
+                     kmax_ceiling_bytes: int = ECN_KMAX_CEILING_BYTES) -> bool:
+    """True when ``config`` is a sane, applicable ECN configuration.
+
+    The shared acceptance predicate: ``0 <= Kmin <= Kmax <= ceiling``
+    with finite values and ``Pmax`` a probability.  Used by the guard's
+    bounds enforcement and by the serve plane's manual-action and
+    shadow-proposal validation.
+    """
+    try:
+        kmin, kmax, pmax = (float(config.kmin_bytes),
+                            float(config.kmax_bytes), float(config.pmax))
+    except (TypeError, ValueError, AttributeError):
+        return False
+    return (math.isfinite(kmin) and math.isfinite(kmax)
+            and math.isfinite(pmax)
+            and 0.0 <= kmin <= kmax <= kmax_ceiling_bytes
+            and 0.0 <= pmax <= 1.0)
 
 
 @dataclass
@@ -151,7 +177,27 @@ class ResilientController:
         for s, h in self.health.items():
             if h.state == "quarantined":
                 applied[s] = self.config.safe_ecn
+        self._export_gauges()
         return applied
+
+    def _export_gauges(self) -> None:
+        """Mirror quarantine/probation state onto the telemetry bus.
+
+        ``/health`` endpoints and ``repro trace`` read these gauges
+        (``guard.quarantined``, ``guard.strikes{switch}``,
+        ``guard.state{switch}``) instead of calling
+        :meth:`health_report` in-band.
+        """
+        reg = get_registry()
+        if not reg:
+            return
+        quarantined = 0
+        for s, h in self.health.items():
+            in_q = h.state == "quarantined"
+            quarantined += int(in_q)
+            reg.set_gauge("guard.strikes", h.strikes, switch=s)
+            reg.set_gauge("guard.state", 1.0 if in_q else 0.0, switch=s)
+        reg.set_gauge("guard.quarantined", quarantined)
 
     # -- telemetry sanitation ------------------------------------------------
     def _sanitize_stats(self, stats: Dict, now: float) -> Dict:
@@ -216,15 +262,8 @@ class ResilientController:
 
     # -- bounds enforcement --------------------------------------------------
     def _config_in_bounds(self, config: ECNConfig) -> bool:
-        try:
-            kmin, kmax, pmax = (float(config.kmin_bytes),
-                                float(config.kmax_bytes), float(config.pmax))
-        except (TypeError, ValueError):
-            return False
-        return (math.isfinite(kmin) and math.isfinite(kmax)
-                and math.isfinite(pmax)
-                and 0.0 <= kmin <= kmax <= self.config.kmax_ceiling_bytes
-                and 0.0 <= pmax <= 1.0)
+        return config_in_bounds(
+            config, kmax_ceiling_bytes=self.config.kmax_ceiling_bytes)
 
     def _enforce_bounds(self, applied: Dict[str, ECNConfig], now: float,
                         network) -> None:

@@ -188,6 +188,12 @@ def load_checkpoint(path: str, *, verify: bool = True) -> Nested:
                     flat[key] = arr
     except CheckpointCorruptError:
         raise
+    except FileNotFoundError:
+        # A concurrent manager pruned the rotation between resolve and
+        # read: the file is *gone*, not torn.  Propagate as-is so
+        # readers walking a rotation skip to the next candidate instead
+        # of mis-recording a corruption.
+        raise
     except (zipfile.BadZipFile, ValueError, EOFError, KeyError, OSError) as exc:
         raise CheckpointCorruptError(f"{resolved}: unreadable archive "
                                      f"({exc})") from exc
@@ -264,6 +270,28 @@ class CheckpointManager:
         for step, path in reversed(self.checkpoints()):
             try:
                 return load_checkpoint(path), step
+            except FileNotFoundError:
+                continue            # pruned by a concurrent manager mid-walk
+            except (CheckpointError, ValueError) as exc:
+                self.skipped.append(f"{path}: {exc}")
+        return None
+
+    def load_newer_than(self, step: Optional[int]
+                        ) -> Optional[Tuple[Nested, int]]:
+        """``(state, step)`` from the newest good checkpoint strictly
+        newer than ``step`` (``None`` accepts any), or ``None`` when no
+        newer loadable checkpoint exists.
+
+        The serve plane's hot-reload path polls this: a torn or
+        corrupted newest rotation is skipped (recorded in
+        :attr:`skipped`) and an older-but-newer-than-``step`` rotation
+        still loads, so a crash mid-save never wedges reloading.
+        """
+        for ckpt_step, path in reversed(self.checkpoints()):
+            if step is not None and ckpt_step <= step:
+                return None
+            try:
+                return load_checkpoint(path), ckpt_step
             except FileNotFoundError:
                 continue            # pruned by a concurrent manager mid-walk
             except (CheckpointError, ValueError) as exc:

@@ -152,6 +152,25 @@ class IPPOTrainer:
             stats[aid] = agent.update(last_obs, last_value=lv)
         return stats
 
+    def stacking_status(self) -> Dict[str, object]:
+        """JSON-safe report on whether batched inference is active.
+
+        The serve plane's ``/state`` endpoint surfaces this per policy,
+        so an operator can see when a fleet silently fell back to the
+        per-agent loop (heterogeneous agents, fastpath disabled).
+        """
+        if not self.fastpath:
+            return {"fastpath": False, "stacked": False,
+                    "agents": len(self.agents), "reason": "fastpath disabled"}
+        stack = self._stacked()
+        if stack is None:
+            from repro.fastpath.batched import stacking_error
+            return {"fastpath": True, "stacked": False,
+                    "agents": len(self.agents),
+                    "reason": stacking_error(list(self.agents.values()))
+                    or "stacking unavailable"}
+        return {"fastpath": True, "stacked": True, **stack.describe()}
+
     # -- checkpointing (offline pre-training -> online deployment) ---------
     def state_dict(self) -> Dict[Hashable, Dict]:
         return {aid: agent.state_dict() for aid, agent in self.agents.items()}

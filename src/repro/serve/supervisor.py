@@ -1,0 +1,132 @@
+"""Supervisor: keep the rollout loop running, restart it when it dies.
+
+The :class:`ControlPlane` is synchronous; :class:`Supervisor` gives it a
+life of its own — a **rollout thread** calling ``plane.tick()`` forever,
+and a **watchdog thread** that notices when the rollout thread died (an
+exception escaped a tick) and restarts it, up to ``max_restarts`` times.
+Past the budget the watchdog stops resurrecting, marks the plane
+``failed``, and the ``/health`` endpoint says so; every restart is
+counted in ``serve.watchdog_restarts`` and traced.
+
+Restart-with-a-budget rather than retry-forever: a tick that keeps
+dying is a bug, not weather, and flapping forever would hide it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs import get_registry, get_tracer
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Run ``plane.tick()`` on a supervised daemon thread.
+
+    Parameters
+    ----------
+    plane:
+        Anything with ``tick()`` and ``mark_failed(reason)`` —
+        normally a :class:`~repro.serve.plane.ControlPlane`.
+    tick_sleep_s:
+        Wall-clock pause between ticks (0: flat out).
+    max_restarts:
+        Rollout-thread resurrections before the supervisor gives up.
+    watchdog_interval_s:
+        How often the watchdog checks the rollout thread's pulse.
+    """
+
+    def __init__(self, plane: Any, *, tick_sleep_s: float = 0.0,
+                 max_restarts: int = 3,
+                 watchdog_interval_s: float = 0.05) -> None:
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self.plane = plane
+        self.tick_sleep_s = tick_sleep_s
+        self.max_restarts = max_restarts
+        self.watchdog_interval_s = watchdog_interval_s
+        self.restarts = 0
+        self.ticks = 0
+        self.last_error: Optional[str] = None
+        self._stop = threading.Event()
+        self._rollout: Optional[threading.Thread] = None
+        self._watchdog: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- threads --------------------------------------------------------------
+    def _rollout_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.plane.tick()
+                self.ticks += 1
+            except Exception as exc:   # noqa: BLE001 — the watchdog decides
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                tracer = get_tracer()
+                if tracer:
+                    tracer.event("serve.rollout_died", error=self.last_error)
+                return                 # die visibly; watchdog takes it
+            if self.tick_sleep_s > 0.0:
+                self._stop.wait(self.tick_sleep_s)
+
+    def _spawn_rollout(self) -> None:
+        self._rollout = threading.Thread(
+            target=self._rollout_loop, name="serve-rollout", daemon=True)
+        self._rollout.start()
+
+    def _watchdog_loop(self) -> None:
+        while not self._stop.wait(self.watchdog_interval_s):
+            with self._lock:
+                rollout = self._rollout
+                if rollout is not None and rollout.is_alive():
+                    continue
+                if self._stop.is_set():
+                    return
+                if self.restarts >= self.max_restarts:
+                    self.plane.mark_failed(
+                        f"rollout thread died {self.restarts + 1} times "
+                        f"(last: {self.last_error})")
+                    return
+                self.restarts += 1
+                reg = get_registry()
+                if reg:
+                    reg.inc("serve.watchdog_restarts")
+                    reg.set_gauge("serve.restarts", self.restarts)
+                tracer = get_tracer()
+                if tracer:
+                    tracer.event("serve.watchdog_restart",
+                                 restarts=self.restarts,
+                                 error=self.last_error)
+                self._spawn_rollout()
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "Supervisor":
+        with self._lock:
+            if self._rollout is not None:
+                raise RuntimeError("supervisor already started")
+            self._stop.clear()
+            self._spawn_rollout()
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="serve-watchdog",
+                daemon=True)
+            self._watchdog.start()
+        return self
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        self._stop.set()
+        deadline = time.monotonic() + timeout_s
+        for thread in (self._rollout, self._watchdog):
+            if thread is not None and thread.is_alive():
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    def status(self) -> Dict[str, Any]:
+        rollout = self._rollout
+        return {
+            "running": rollout is not None and rollout.is_alive(),
+            "ticks": self.ticks,
+            "restarts": self.restarts,
+            "max_restarts": self.max_restarts,
+            "last_error": self.last_error,
+        }

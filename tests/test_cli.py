@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.cli as cli_mod
 from repro.cli import build_parser, main
 
 
@@ -42,3 +43,37 @@ class TestMain:
         assert rc == 0
         out = capsys.readouterr().out
         assert "secn1" in out and "secn2" in out
+
+
+class TestExitCodes:
+    """A crashed subcommand must exit nonzero — automation gates on $?."""
+
+    def test_scenario_crash_exits_1_with_stderr_line(self, monkeypatch,
+                                                     capsys):
+        def explode(*_a, **_k):
+            raise RuntimeError("simulated scenario crash")
+
+        monkeypatch.setattr(cli_mod, "run_scenario", explode)
+        rc = main(["--scheme", "secn1", "--duration", "0.01",
+                   "--pretrain", "0", "--hosts-per-leaf", "2",
+                   "--leaves", "2", "--spines", "1", "--no-incast"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error: RuntimeError: simulated scenario crash" in err
+
+    def test_subcommand_crash_exits_1(self, monkeypatch, capsys):
+        def explode(_argv):
+            raise OSError("port already in use")
+
+        monkeypatch.setattr("repro.serve.cli.serve_main", explode)
+        rc = main(["serve", "--smoke"])
+        assert rc == 1
+        assert "OSError" in capsys.readouterr().err
+
+    def test_subcommand_nonzero_rc_propagates(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.cli.serve_main", lambda _argv: 3)
+        assert main(["serve"]) == 3
+
+    def test_argparse_systemexit_passes_through(self):
+        with pytest.raises(SystemExit):
+            main(["--scheme", "reno"])

@@ -9,11 +9,14 @@
 - a task whose worker process *dies* is retried once in isolation, then
   surfaced as a structured failure — never a hung pool;
 - unpicklable specs fail fast at submission;
+- a task hung past ``task_timeout_s`` is killed and recorded as a
+  structured ``Timeout`` failure — ``run()`` never blocks forever;
 - :class:`CheckpointManager` stays safe under concurrent writers.
 """
 
 import os
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -54,6 +57,15 @@ def _crash_once(sentinel):
 
 def _crash_always(_x):
     os._exit(13)
+
+
+def _hang(_x):
+    time.sleep(600)
+
+
+def _nap(x):
+    time.sleep(0.02)
+    return x
 
 
 def _ckpt_write(args):
@@ -213,6 +225,58 @@ class TestCrashRecovery:
         assert failure is not None and failure.worker_crashed
         assert failure.attempts == 1
         assert report.retries == 0
+
+
+# --------------------------------------------------------- task timeouts
+class TestTaskTimeout:
+    def test_hung_task_becomes_timeout_failure_batch_completes(self):
+        specs = [TaskSpec(task_id=0, fn=_hang, args=(None,)),
+                 TaskSpec(task_id=1, fn=_square, args=(3,)),
+                 TaskSpec(task_id=2, fn=_square, args=(4,))]
+        started = time.monotonic()
+        report = Engine(workers=WORKERS, task_timeout_s=1.0).run(specs)
+        assert time.monotonic() - started < 60       # no eternal block
+        failure = report.outcomes[0].failure
+        assert failure is not None
+        assert failure.error_type == "Timeout"
+        assert not failure.worker_crashed
+        assert "task_timeout_s" in failure.message
+        assert report.outcomes[1].value == 9
+        assert report.outcomes[2].value == 16
+
+    def test_timeout_is_never_retried(self):
+        specs = [TaskSpec(task_id=0, fn=_hang, args=(None,))]
+        report = Engine(workers=WORKERS, task_timeout_s=0.5,
+                        max_retries=5).run(specs)
+        failure = report.outcomes[0].failure
+        assert failure is not None and failure.error_type == "Timeout"
+        assert failure.attempts == 1
+        assert report.retries == 0
+
+    def test_innocent_inflight_tasks_survive_the_kill(self):
+        # One hang plus enough quick tasks that some are in flight on
+        # the pool when its workers are terminated; they must all still
+        # produce values via resubmission, with no retry budget spent.
+        specs = [TaskSpec(task_id=0, fn=_hang, args=(None,))] + [
+            TaskSpec(task_id=i, fn=_nap, args=(i,)) for i in range(1, 6)]
+        report = Engine(workers=WORKERS, task_timeout_s=1.0).run(specs)
+        assert report.outcomes[0].failure is not None
+        for o in report.outcomes[1:]:
+            assert o.ok and o.value == o.task_id
+
+    def test_fast_tasks_unaffected_by_generous_timeout(self):
+        report = Engine(workers=WORKERS, task_timeout_s=30.0).map(
+            _square, range(6))
+        assert report.values() == [x * x for x in range(6)]
+        assert not report.failures
+
+    def test_serial_path_documented_no_enforcement(self):
+        report = Engine(workers=1, task_timeout_s=0.005).map(_nap, [7])
+        assert report.values() == [7]        # in-process: cannot preempt
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Engine(workers=2, task_timeout_s=0.0)
 
 
 # --------------------------------------------------------- checkpoints

@@ -168,6 +168,131 @@ class TestCheckpointManager:
         assert mgr.checkpoints() == []
 
 
+class TestLoadNewerThan:
+    def test_returns_only_strictly_newer(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), keep=3)
+        mgr.save(mk_state(1), 10)
+        mgr.save(mk_state(2), 20)
+        assert mgr.load_newer_than(20) is None
+        state, step = mgr.load_newer_than(10)
+        assert step == 20 and int(state["step"]) == 2
+        state, step = mgr.load_newer_than(None)
+        assert step == 20
+
+    def test_torn_newest_falls_back_to_older_newer(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), keep=3)
+        mgr.save(mk_state(1), 10)
+        newest = mgr.save(mk_state(2), 20)
+        with open(newest, "wb") as f:
+            f.write(b"torn")
+        state, step = mgr.load_newer_than(5)
+        assert step == 10 and int(state["step"]) == 1
+        assert mgr.skipped
+        # nothing good strictly newer than 10 -> keep current weights
+        assert mgr.load_newer_than(10) is None
+
+
+class TestConcurrentRotation:
+    """Satellite 3: hot-reload under concurrent save/prune never
+    observes a torn read — a reader always gets a complete old or new
+    checkpoint, and pruned-underfoot files surface as graceful skips,
+    never as :class:`CheckpointCorruptError`."""
+
+    def test_reader_never_sees_torn_checkpoint(self, tmp_path):
+        import threading
+
+        directory = str(tmp_path)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            mgr = CheckpointManager(directory, keep=2)
+            step = 0
+            while not stop.is_set():
+                step += 1
+                mgr.save({"w": np.full(4, float(step))}, step)
+
+        def reader():
+            mgr = CheckpointManager(directory, keep=2)
+            seen = 0
+            last = None
+            while seen < 200 and not stop.is_set():
+                try:
+                    got = mgr.load_latest()
+                except CheckpointCorruptError as exc:  # torn read
+                    errors.append(exc)
+                    return
+                if got is None:
+                    continue
+                state, step = got
+                w = state["w"]
+                # a complete checkpoint: uniform payload matching its step
+                if not np.all(w == float(step)):
+                    errors.append(AssertionError(
+                        f"mixed payload at step {step}: {w}"))
+                    return
+                if last is not None and step < last:
+                    errors.append(AssertionError(
+                        f"step went backwards: {last} -> {step}"))
+                    return
+                last = step
+                seen += 1
+
+        threads = [threading.Thread(target=writer, daemon=True),
+                   threading.Thread(target=reader, daemon=True)]
+        reader_t = threads[1]
+        for t in threads:
+            t.start()
+        reader_t.join(timeout=30.0)
+        stop.set()
+        threads[0].join(timeout=10.0)
+        assert not reader_t.is_alive()
+        assert errors == []
+
+    def test_load_newer_than_under_rotation(self, tmp_path):
+        import threading
+
+        directory = str(tmp_path)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            mgr = CheckpointManager(directory, keep=2)
+            step = 0
+            while not stop.is_set():
+                step += 1
+                mgr.save({"w": np.full(4, float(step))}, step)
+
+        def poller():
+            mgr = CheckpointManager(directory, keep=2)
+            loaded_step = None
+            reloads = 0
+            while reloads < 100 and not stop.is_set():
+                try:
+                    got = mgr.load_newer_than(loaded_step)
+                except CheckpointCorruptError as exc:
+                    errors.append(exc)
+                    return
+                if got is None:
+                    continue
+                state, step = got
+                if not np.all(state["w"] == float(step)):
+                    errors.append(AssertionError(f"torn at {step}"))
+                    return
+                loaded_step = step
+                reloads += 1
+
+        w = threading.Thread(target=writer, daemon=True)
+        p = threading.Thread(target=poller, daemon=True)
+        w.start()
+        p.start()
+        p.join(timeout=30.0)
+        stop.set()
+        w.join(timeout=10.0)
+        assert not p.is_alive()
+        assert errors == []
+
+
 class TestCheckpointedPretraining:
     def _make_network(self):
         cfg = FluidConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2,

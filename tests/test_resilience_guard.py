@@ -224,6 +224,50 @@ class TestBoundsEnforcement:
         assert not guard.log.by_kind("action-out-of-bounds")
 
 
+class TestGuardGauges:
+    """Quarantine/probation state is mirrored onto repro.obs gauges so
+    /health and `repro trace` never call health_report() in-band."""
+
+    def test_quarantine_exported_as_gauges(self):
+        from repro import obs
+        registry, _tracer = obs.enable()
+        try:
+            guard = ResilientController(CrashingController("leaf0"),
+                                        SWITCHES)
+            guard.decide(mk_stats(), 0.0, DummyNet())
+            assert registry.gauge_value("guard.quarantined") == 1
+            assert registry.gauge_value("guard.state", switch="leaf0") == 1.0
+            assert registry.gauge_value("guard.state", switch="leaf1") == 0.0
+            assert registry.gauge_value("guard.strikes", switch="leaf0") >= 1
+            assert registry.gauge_value("guard.strikes", switch="leaf1") == 0
+        finally:
+            obs.disable()
+
+    def test_gauges_clear_after_reinstatement(self):
+        from repro import obs
+        registry, _tracer = obs.enable()
+        try:
+            inner = CrashingController("leaf0")
+            cfg = GuardConfig(probation_intervals=2)
+            guard = ResilientController(inner, SWITCHES, cfg)
+            guard.decide(mk_stats(), 0.0, DummyNet())
+            assert registry.gauge_value("guard.quarantined") == 1
+            inner.crash_switch = None
+            for i in range(1, 3):
+                guard.decide(mk_stats(), float(i), DummyNet())
+            assert registry.gauge_value("guard.quarantined") == 0
+            assert registry.gauge_value("guard.state", switch="leaf0") == 0.0
+        finally:
+            obs.disable()
+
+    def test_no_registry_no_crash(self):
+        from repro import obs
+        assert not obs.enabled()
+        guard = ResilientController(CrashingController("leaf0"), SWITCHES)
+        guard.decide(mk_stats(), 0.0, DummyNet())   # null-object path
+        assert guard.quarantined() == ["leaf0"]
+
+
 class TestGuardMisc:
     def test_needs_switches(self):
         with pytest.raises(ValueError):

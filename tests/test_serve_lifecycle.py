@@ -1,0 +1,372 @@
+"""Unit tests for the serve building blocks: backoff, buffered writes,
+the policy lifecycle registry, the promotion gate, and deadline decides."""
+
+import threading
+import time
+
+import pytest
+
+from repro.netsim.ecn import ECNConfig
+from repro.serve.backoff import RetryExhausted, RetryPolicy, retry_call
+from repro.serve.deadline import DeadlineDecider
+from repro.serve.gate import (GateConfig, MetricWindow, PromotionGate,
+                              WindowSummary)
+from repro.serve.lifecycle import (BufferedNetwork, LifecycleError,
+                                   PolicyRegistry)
+
+
+# --------------------------------------------------------------------- backoff
+class TestRetry:
+    def test_succeeds_first_try(self):
+        assert retry_call(lambda: 42, policy=RetryPolicy()) == 42
+
+    def test_retries_then_succeeds(self):
+        calls = {"n": 0}
+        slept = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        out = retry_call(flaky, policy=RetryPolicy(attempts=3),
+                         sleep=slept.append)
+        assert out == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2
+        assert slept[1] > slept[0]          # exponential backoff
+
+    def test_exhaustion_raises_with_last_error(self):
+        def dead():
+            raise ValueError("always")
+
+        with pytest.raises(RetryExhausted) as ei:
+            retry_call(dead, policy=RetryPolicy(attempts=2),
+                       sleep=lambda _: None)
+        assert ei.value.attempts == 2
+        assert isinstance(ei.value.last, ValueError)
+
+    def test_non_matching_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def typed():
+            calls["n"] += 1
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            retry_call(typed, policy=RetryPolicy(attempts=5),
+                       retry_on=(OSError,), sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_delay_capped(self):
+        p = RetryPolicy(attempts=10, base_delay_s=1.0, factor=10.0,
+                        max_delay_s=2.5)
+        assert p.delay(5) == 2.5
+
+
+# ----------------------------------------------------------- buffered network
+class _FakeNet:
+    def __init__(self):
+        self.now = 1.5
+        self.applied = []
+
+    def set_ecn(self, switch, config):
+        self.applied.append((switch, config))
+
+    def set_ecn_all(self, config):
+        self.applied.append(("*", config))
+
+    def switch_names(self):
+        return ["s0", "s1"]
+
+
+class TestBufferedNetwork:
+    def test_writes_buffer_and_reads_pass_through(self):
+        net = _FakeNet()
+        buf = BufferedNetwork(net)
+        cfg = ECNConfig(1000, 2000, 0.1)
+        buf.set_ecn("s0", cfg)
+        buf.set_ecn_all(cfg)
+        assert net.applied == []             # nothing reached the fabric
+        assert buf.now == 1.5                # reads delegate
+        assert buf.switch_names() == ["s0", "s1"]
+        assert buf.buffered == [("s0", cfg), (None, cfg)]
+
+    def test_flush_applies_in_order(self):
+        net = _FakeNet()
+        buf = BufferedNetwork(net)
+        a, b = ECNConfig(1, 2, 0.1), ECNConfig(3, 4, 0.2)
+        buf.set_ecn("s1", a)
+        buf.set_ecn_all(b)
+        n = buf.flush()
+        assert n == 2
+        assert net.applied == [("s1", a), ("*", b)]
+
+    def test_dropped_buffer_never_mutates(self):
+        net = _FakeNet()
+        buf = BufferedNetwork(net)
+        buf.set_ecn("s0", ECNConfig(1, 2, 0.1))
+        del buf
+        assert net.applied == []
+
+
+# ---------------------------------------------------------------- registry
+def _registry():
+    return PolicyRegistry(static_controller=object())
+
+
+class TestPolicyRegistry:
+    def test_static_is_initial_incumbent(self):
+        reg = _registry()
+        assert reg.incumbent_name == PolicyRegistry.STATIC
+        assert reg.incumbent.stage == "promoted"
+
+    def test_register_starts_in_shadow(self):
+        reg = _registry()
+        rec = reg.register("p", object(), tick=3)
+        assert rec.stage == "shadow"
+        assert rec.registered_tick == 3
+        assert reg.shadows() == [rec]
+
+    def test_register_rejects_duplicates_and_bad_names(self):
+        reg = _registry()
+        reg.register("p", object(), tick=0)
+        with pytest.raises(LifecycleError):
+            reg.register("p", object(), tick=1)
+        with pytest.raises(LifecycleError):
+            reg.register("a/b", object(), tick=1)
+
+    def test_promotion_requires_clean_streak(self):
+        reg = _registry()
+        rec = reg.register("p", object(), tick=0)
+        ok, reason = reg.eligible("p", min_shadow_ticks=5, tick=10)
+        assert not ok and "clean shadow" in reason
+        with pytest.raises(LifecycleError):
+            reg.promote_to_canary("p", tick=10, min_shadow_ticks=5)
+        rec.clean_streak = 5
+        reg.promote_to_canary("p", tick=10, min_shadow_ticks=5)
+        assert reg.canary_name == "p"
+        assert rec.stage == "canary"
+
+    def test_single_canary_slot(self):
+        reg = _registry()
+        a = reg.register("a", object(), tick=0)
+        b = reg.register("b", object(), tick=0)
+        a.clean_streak = b.clean_streak = 99
+        reg.promote_to_canary("a", tick=1, min_shadow_ticks=1)
+        with pytest.raises(LifecycleError):
+            reg.promote_to_canary("b", tick=1, min_shadow_ticks=1)
+
+    def test_rollback_sets_cooldown_and_blocks_repromotion(self):
+        reg = _registry()
+        rec = reg.register("p", object(), tick=0)
+        rec.clean_streak = 10
+        reg.promote_to_canary("p", tick=5, min_shadow_ticks=1)
+        back = reg.rollback_canary(tick=10, cooldown_ticks=20, reason="gate")
+        assert back is rec
+        assert rec.stage == "shadow"
+        assert rec.cooldown_until == 30
+        assert rec.clean_streak == 0
+        assert rec.rollbacks == 1
+        assert reg.canary_name is None
+        rec.clean_streak = 99
+        ok, reason = reg.eligible("p", min_shadow_ticks=1, tick=29)
+        assert not ok and "cooling down" in reason
+        ok, _ = reg.eligible("p", min_shadow_ticks=1, tick=30)
+        assert ok
+
+    def test_complete_promotion_retires_old_incumbent(self):
+        reg = _registry()
+        a = reg.register("a", object(), tick=0)
+        a.clean_streak = 9
+        reg.promote_to_canary("a", tick=1, min_shadow_ticks=1)
+        reg.complete_promotion(tick=2)
+        assert reg.incumbent_name == "a"
+        assert a.stage == "promoted"
+        # static stays "promoted" (it is the permanent floor), not retired
+        assert reg.records[PolicyRegistry.STATIC].stage == "promoted"
+        assert reg.previous_incumbent == PolicyRegistry.STATIC
+
+        b = reg.register("b", object(), tick=3)
+        b.clean_streak = 9
+        reg.promote_to_canary("b", tick=4, min_shadow_ticks=1)
+        reg.complete_promotion(tick=5)
+        assert a.stage == "retired"
+        assert reg.previous_incumbent == "a"
+
+    def test_demote_incumbent_falls_back_to_static(self):
+        reg = _registry()
+        a = reg.register("a", object(), tick=0)
+        a.clean_streak = 9
+        reg.promote_to_canary("a", tick=1, min_shadow_ticks=1)
+        reg.complete_promotion(tick=2)
+        reg.demote_incumbent(tick=10, cooldown_ticks=5, reason="strikes")
+        assert reg.incumbent_name == PolicyRegistry.STATIC
+        assert a.stage == "shadow"
+        # demoting the static floor is a no-op
+        rec = reg.demote_incumbent(tick=11, cooldown_ticks=5, reason="again")
+        assert rec.name == PolicyRegistry.STATIC
+        assert reg.incumbent_name == PolicyRegistry.STATIC
+
+    def test_suspend_blocks_static(self):
+        reg = _registry()
+        reg.register("p", object(), tick=0)
+        reg.suspend("p", reason="wedged")
+        assert reg.records["p"].stage == "suspended"
+        with pytest.raises(LifecycleError):
+            reg.suspend(PolicyRegistry.STATIC, reason="no")
+
+    def test_snapshot_is_json_safe(self):
+        import json
+        reg = _registry()
+        reg.register("p", object(), tick=0)
+        json.dumps(reg.snapshot())
+
+
+# -------------------------------------------------------------------- gate
+def _summary(ticks=50, queue=10_000.0, util=0.5, fct=1e-3, n_fct=100):
+    return WindowSummary(ticks=ticks, queue_mean_bytes=queue, util_mean=util,
+                         fct_mean_s=fct, fct_count=n_fct)
+
+
+class TestPromotionGate:
+    def test_no_verdict_before_min_samples(self):
+        gate = PromotionGate(GateConfig(eval_min_ticks=10))
+        d = gate.evaluate(_summary(), _summary(ticks=5, queue=1e9))
+        assert not d.breach
+
+    def test_clean_canary_passes(self):
+        gate = PromotionGate(GateConfig(eval_min_ticks=5))
+        d = gate.evaluate(_summary(), _summary(ticks=20))
+        assert not d.breach and d.reasons == []
+
+    def test_queue_regression_breaches(self):
+        gate = PromotionGate(GateConfig(eval_min_ticks=5,
+                                        queue_tolerance=0.25,
+                                        queue_slack_bytes=0.0))
+        d = gate.evaluate(_summary(queue=10_000.0),
+                          _summary(ticks=20, queue=13_000.0))
+        assert d.breach
+        assert any("queue" in r for r in d.reasons)
+
+    def test_fct_regression_breaches(self):
+        gate = PromotionGate(GateConfig(eval_min_ticks=5, fct_tolerance=0.25,
+                                        fct_slack_s=0.0))
+        d = gate.evaluate(_summary(fct=1e-3),
+                          _summary(ticks=20, fct=2e-3))
+        assert d.breach
+        assert any("fct" in r for r in d.reasons)
+
+    def test_fct_skipped_when_no_flows(self):
+        gate = PromotionGate(GateConfig(eval_min_ticks=5, fct_tolerance=0.0,
+                                        fct_slack_s=0.0))
+        d = gate.evaluate(_summary(fct=None, n_fct=0),
+                          _summary(ticks=20, fct=10.0))
+        assert not d.breach
+
+    def test_util_drop_breaches(self):
+        gate = PromotionGate(GateConfig(eval_min_ticks=5,
+                                        util_tolerance=0.10))
+        d = gate.evaluate(_summary(util=0.8), _summary(ticks=20, util=0.5))
+        assert d.breach
+        assert any("utilization" in r for r in d.reasons)
+
+    def test_empty_baseline_never_breaches(self):
+        gate = PromotionGate(GateConfig(eval_min_ticks=1))
+        d = gate.evaluate(WindowSummary(), _summary(ticks=20, queue=1e12))
+        assert not d.breach
+
+    def test_queue_slack_absorbs_near_zero_baseline(self):
+        gate = PromotionGate(GateConfig(eval_min_ticks=1,
+                                        queue_slack_bytes=5_000.0))
+        d = gate.evaluate(_summary(queue=0.0),
+                          _summary(ticks=20, queue=4_000.0))
+        assert not d.breach
+
+
+class TestMetricWindow:
+    def test_rolling_capacity(self):
+        w = MetricWindow(capacity=3)
+        for i in range(5):
+            w.push(queue_mean_bytes=float(i), util_mean=0.5)
+        s = w.summary()
+        assert s.ticks == 3
+        assert s.queue_mean_bytes == pytest.approx((2 + 3 + 4) / 3)
+        assert s.fct_mean_s is None
+
+    def test_fct_mean_weights_flows_not_ticks(self):
+        w = MetricWindow(capacity=10)
+        w.push(queue_mean_bytes=0, util_mean=0, fcts_s=[1.0])
+        w.push(queue_mean_bytes=0, util_mean=0, fcts_s=[3.0, 3.0, 3.0])
+        s = w.summary()
+        assert s.fct_count == 4
+        assert s.fct_mean_s == pytest.approx(10.0 / 4)
+
+
+# ------------------------------------------------------------------ deadline
+class TestDeadlineDecider:
+    def test_on_time_result(self):
+        d = DeadlineDecider()
+        out = d.submit(lambda a, b: a + b, 2, 3, budget_s=1.0)
+        assert out.ok and out.value == 5
+        d.close()
+
+    def test_exception_captured(self):
+        d = DeadlineDecider()
+
+        def boom():
+            raise RuntimeError("inside decide")
+
+        out = d.submit(boom, budget_s=1.0)
+        assert out.status == "error"
+        assert isinstance(out.error, RuntimeError)
+        d.close()
+
+    def test_timeout_and_worker_replacement(self):
+        d = DeadlineDecider(max_replacements=4)
+        release = threading.Event()
+        out = d.submit(release.wait, budget_s=0.05)
+        assert out.status == "timeout"
+        # The wedged worker is replaced; the next submit still works.
+        out2 = d.submit(lambda: "alive", budget_s=1.0)
+        assert out2.ok and out2.value == "alive"
+        assert d.replacements == 1
+        release.set()
+        d.close()
+
+    def test_late_result_never_leaks_into_next_submit(self):
+        d = DeadlineDecider()
+        gate = threading.Event()
+
+        def slow():
+            gate.wait(2.0)
+            return "stale"
+
+        assert d.submit(slow, budget_s=0.05).status == "timeout"
+        gate.set()
+        time.sleep(0.05)                     # let the stale decide finish
+        out = d.submit(lambda: "fresh", budget_s=1.0)
+        assert out.ok and out.value == "fresh"
+        d.close()
+
+    def test_exhaustion_after_repeated_wedges(self):
+        d = DeadlineDecider(max_replacements=2)
+        events = []
+        for _ in range(4):
+            ev = threading.Event()
+            events.append(ev)
+            out = d.submit(ev.wait, budget_s=0.02)
+            if out.status == "exhausted":
+                break
+        assert d.exhausted
+        assert d.submit(lambda: 1, budget_s=1.0).status == "exhausted"
+        for ev in events:
+            ev.set()
+        d.close()
+
+    def test_rejects_non_positive_budget(self):
+        d = DeadlineDecider()
+        with pytest.raises(ValueError):
+            d.submit(lambda: 1, budget_s=0.0)
+        d.close()
