@@ -39,7 +39,8 @@ from repro.traffic.incast import IncastConfig, IncastGenerator
 from repro.traffic.workloads import workload_by_name
 
 __all__ = ["ScenarioConfig", "ExperimentResult", "build_scheme",
-           "run_scenario", "run_scenario_grid", "SCHEMES"]
+           "run_scenario", "run_scenario_grid", "run_scenarios_batched",
+           "SCHEMES"]
 
 SCHEMES = ("pet", "pet_ablated", "acc", "secn1", "secn2", "amt", "qaecn")
 
@@ -237,27 +238,41 @@ def _cached_pretrain_acc(cfg: ScenarioConfig, controller: ACCController,
 
 
 # --------------------------------------------------------------- runner
-def run_scenario(scheme: str, cfg: Optional[ScenarioConfig] = None, *,
-                 pet_config: Optional[PETConfig] = None,
-                 on_interval: Optional[Callable] = None,
-                 network=None) -> ExperimentResult:
-    """Run one scheme through one scenario and collect the paper metrics.
+@dataclass
+class _PreparedScenario:
+    """A scenario after setup (network, traffic, pretrained controller),
+    before the measured run — the unit :func:`run_scenarios_batched`
+    steps as one batch replica."""
 
-    Parameters
-    ----------
-    scheme:
-        One of :data:`SCHEMES`.
-    cfg:
-        Scenario; defaults to 60%-load Web Search on the fluid fabric.
-    pet_config:
-        Override the learning configuration (ablation benches use this).
-    on_interval:
-        Extra per-interval callback (pattern switches, failure injection).
-    network:
-        Pre-built simulator (with traffic already loaded) to use instead
-        of the scenario's default; the caller owns its traffic in that
-        case.
-    """
+    scheme: str
+    cfg: ScenarioConfig
+    net: object
+    controller: object
+    n_flows: int
+    intervals: int
+    queue_samples: List[float] = field(default_factory=list)
+    utils: List[float] = field(default_factory=list)
+
+    @property
+    def drain(self) -> int:
+        return max(int(0.2 * self.intervals), 10)
+
+    def collector(self, on_interval: Optional[Callable] = None) -> Callable:
+        """The per-interval sampler the measured loop runs."""
+        def _collect(i: int, now: float, stats: Dict) -> None:
+            for st in stats.values():
+                self.queue_samples.append(st.avg_qlen_bytes)
+            u = [st.utilization for st in stats.values()]
+            self.utils.append(float(np.mean(u)) if u else 0.0)
+            if on_interval is not None:
+                on_interval(i, now, stats)
+        return _collect
+
+
+def _setup_scenario(scheme: str, cfg: Optional[ScenarioConfig] = None, *,
+                    pet_config: Optional[PETConfig] = None,
+                    network=None) -> _PreparedScenario:
+    """Build the traffic-loaded simulator and the (pretrained) scheme."""
     cfg = cfg or ScenarioConfig()
     base_pet = pet_config or _default_pet_config(cfg)
     base_pet = replace(base_pet, delta_t=cfg.delta_t)
@@ -295,46 +310,124 @@ def run_scenario(scheme: str, cfg: Optional[ScenarioConfig] = None, *,
         controller.advance_exploration(cfg.pretrain_intervals)
 
     controller.set_training(cfg.online_training)
-
-    # ---- measured run -----------------------------------------------------
     intervals = max(int(round(cfg.duration / cfg.delta_t)), 1)
-    queue_samples: List[float] = []
-    utils: List[float] = []
+    return _PreparedScenario(scheme=scheme, cfg=cfg, net=net,
+                             controller=controller, n_flows=n_flows,
+                             intervals=intervals)
 
-    def _collect(i: int, now: float, stats: Dict) -> None:
-        for st in stats.values():
-            queue_samples.append(st.avg_qlen_bytes)
-        u = [st.utilization for st in stats.values()]
-        utils.append(float(np.mean(u)) if u else 0.0)
-        if on_interval is not None:
-            on_interval(i, now, stats)
 
-    with tr.span("scenario.measure", scheme=scheme, intervals=intervals):
-        run_control_loop(net, controller, intervals=intervals,
-                         delta_t=cfg.delta_t, on_interval=_collect)
-        # drain: let in-flight flows finish without new arrivals
-        drain = max(int(0.2 * intervals), 10)
-        run_control_loop(net, controller, intervals=drain, delta_t=cfg.delta_t,
-                         on_interval=None)
-
+def _finalize_scenario(prep: _PreparedScenario) -> ExperimentResult:
+    """Collect the paper metrics after the measured run + drain."""
+    cfg, net = prep.cfg, prep.net
     base_rtt = (cfg.fluid.base_rtt if cfg.simulator == "fluid"
                 else cfg.packet.base_rtt())
     fct = fct_statistics(net.finished_flows, cfg.host_rate_bps, base_rtt)
-    queue = queue_length_statistics(queue_samples)
+    queue = queue_length_statistics(prep.queue_samples)
     lat = latency_statistics(net.latencies)
     extra: Dict[str, float] = {}
-    if isinstance(controller, ACCController):
-        extra.update(controller.overhead_report())
+    if isinstance(prep.controller, ACCController):
+        extra.update(prep.controller.overhead_report())
     return ExperimentResult(
-        scheme=scheme, scenario=cfg, fct=fct, queue=queue, latency=lat,
-        mean_utilization=float(np.mean(utils)) if utils else 0.0,
-        flows_finished=len(net.finished_flows), flows_total=n_flows,
-        queue_samples=queue_samples, extra=extra)
+        scheme=prep.scheme, scenario=cfg, fct=fct, queue=queue, latency=lat,
+        mean_utilization=float(np.mean(prep.utils)) if prep.utils else 0.0,
+        flows_finished=len(net.finished_flows), flows_total=prep.n_flows,
+        queue_samples=prep.queue_samples, extra=extra)
+
+
+def run_scenario(scheme: str, cfg: Optional[ScenarioConfig] = None, *,
+                 pet_config: Optional[PETConfig] = None,
+                 on_interval: Optional[Callable] = None,
+                 network=None) -> ExperimentResult:
+    """Run one scheme through one scenario and collect the paper metrics.
+
+    Parameters
+    ----------
+    scheme:
+        One of :data:`SCHEMES`.
+    cfg:
+        Scenario; defaults to 60%-load Web Search on the fluid fabric.
+    pet_config:
+        Override the learning configuration (ablation benches use this).
+    on_interval:
+        Extra per-interval callback (pattern switches, failure injection).
+    network:
+        Pre-built simulator (with traffic already loaded) to use instead
+        of the scenario's default; the caller owns its traffic in that
+        case.
+    """
+    prep = _setup_scenario(scheme, cfg, pet_config=pet_config,
+                           network=network)
+
+    # ---- measured run -----------------------------------------------------
+    tr = get_tracer()
+    with tr.span("scenario.measure", scheme=scheme,
+                 intervals=prep.intervals):
+        run_control_loop(prep.net, prep.controller, intervals=prep.intervals,
+                         delta_t=prep.cfg.delta_t,
+                         on_interval=prep.collector(on_interval))
+        # drain: let in-flight flows finish without new arrivals
+        run_control_loop(prep.net, prep.controller, intervals=prep.drain,
+                         delta_t=prep.cfg.delta_t, on_interval=None)
+
+    return _finalize_scenario(prep)
+
+
+def run_scenarios_batched(jobs: List, *,
+                          pet_config: Optional[PETConfig] = None
+                          ) -> List[ExperimentResult]:
+    """Run ``(scheme, ScenarioConfig)`` jobs as one sim-as-batch program.
+
+    The sim-as-batch sibling of :func:`run_scenario_grid`: every job's
+    fluid simulator becomes one replica of a
+    :class:`repro.netsim.batchfluid.BatchFluidNetwork`, and the measured
+    runs + drains of all jobs advance with one vectorized kernel per Δt
+    instead of J separate processes.  Setup (traffic generation and the
+    cached offline pretraining) runs sequentially in job order, exactly
+    like a serial grid, so results are bit-identical to
+    ``run_scenario`` per job (``tests/test_sweep.py`` locks this down).
+
+    Jobs must share the fluid substrate, fabric shape, ``duration`` and
+    ``delta_t`` (sweeps substitute only scheme/load/workload, so grids
+    qualify); anything else raises
+    :class:`repro.netsim.batchfluid.BatchCompatError`.
+    """
+    from repro.core.training import run_control_loop_batched
+    from repro.netsim.batchfluid import BatchCompatError, BatchFluidNetwork
+
+    if not jobs:
+        return []
+    preps = [_setup_scenario(scheme, cfg, pet_config=pet_config)
+             for scheme, cfg in jobs]
+    for prep in preps:
+        if prep.cfg.simulator != "fluid":
+            raise BatchCompatError(
+                "run_scenarios_batched requires the fluid substrate; "
+                f"job {prep.scheme!r} uses {prep.cfg.simulator!r}")
+    horizons = {(p.intervals, p.cfg.delta_t) for p in preps}
+    if len(horizons) != 1:
+        raise BatchCompatError(
+            "batched scenarios must share duration and delta_t; got "
+            f"{sorted(horizons)}")
+    batch = BatchFluidNetwork.from_networks([p.net for p in preps])
+    controllers = [p.controller for p in preps]
+    tr = get_tracer()
+    with tr.span("scenario.measure_batched", jobs=len(preps),
+                 intervals=preps[0].intervals):
+        run_control_loop_batched(
+            batch, controllers, intervals=preps[0].intervals,
+            delta_t=preps[0].cfg.delta_t,
+            on_intervals=[p.collector() for p in preps])
+        # drain: let in-flight flows finish without new arrivals
+        run_control_loop_batched(
+            batch, controllers, intervals=preps[0].drain,
+            delta_t=preps[0].cfg.delta_t)
+    return [_finalize_scenario(p) for p in preps]
 
 
 # --------------------------------------------------------------- grid fan-out
 def run_scenario_grid(jobs: List, *, workers: int = 1,
-                      engine=None) -> List[ExperimentResult]:
+                      engine=None, sim_batch: bool = False
+                      ) -> List[ExperimentResult]:
     """Run many independent ``(scheme, ScenarioConfig)`` jobs, optionally
     across worker processes.
 
@@ -345,8 +438,17 @@ def run_scenario_grid(jobs: List, *, workers: int = 1,
     surfaced as a structured failure.  Serial runs (``workers=1``) share
     the in-process pretraining cache; parallel workers each pay their
     own pretraining (documented trade — see docs/PARALLEL.md).
+
+    ``sim_batch=True`` routes the grid through
+    :func:`run_scenarios_batched` instead (one in-process tensor
+    program, bit-identical results; ignores ``workers``).
     """
     from repro.parallel.engine import Engine, TaskSpec
+    if sim_batch:
+        if engine is not None:
+            raise ValueError("sim_batch=True runs in-process; pass "
+                             "engine=None (or drop sim_batch)")
+        return run_scenarios_batched(jobs)
     eng = engine if engine is not None else Engine(workers=workers)
     specs = [TaskSpec(task_id=i, fn=run_scenario, args=(scheme, cfg))
              for i, (scheme, cfg) in enumerate(jobs)]

@@ -22,7 +22,8 @@ from dataclasses import dataclass, replace
 from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.experiments import ScenarioConfig, run_scenario
+from repro.analysis.experiments import (ScenarioConfig, run_scenario,
+                                        run_scenarios_batched)
 from repro.parallel.engine import Engine, EngineReport, TaskSpec
 
 __all__ = ["SweepSpec", "SweepCell", "run_sweep", "run_sweep_report",
@@ -79,8 +80,8 @@ def run_sweep_report(spec: SweepSpec, base: Optional[ScenarioConfig] = None, *,
 
 
 def run_sweep(spec: SweepSpec, base: Optional[ScenarioConfig] = None, *,
-              workers: int = 1, engine: Optional[Engine] = None
-              ) -> List[SweepCell]:
+              workers: int = 1, engine: Optional[Engine] = None,
+              sim_batch: bool = False) -> List[SweepCell]:
     """Run every cell of the grid; cells return in grid order.
 
     Parameters
@@ -95,13 +96,34 @@ def run_sweep(spec: SweepSpec, base: Optional[ScenarioConfig] = None, *,
     engine:
         Pre-configured engine to use instead of ``workers`` (custom
         retry policy, queue depth, mp context).
+    sim_batch:
+        Step every cell's simulator as one replica of a
+        :class:`repro.netsim.batchfluid.BatchFluidNetwork` — the whole
+        grid's measured runs become one vectorized tensor program in
+        this process (setup and the shared pretraining cache behave
+        exactly like the serial path, and cell values are bit-identical
+        to it).  Requires the fluid substrate; ignores ``workers``.
 
     Raises
     ------
     repro.parallel.TaskFailedError
         When any cell failed (after the engine's crash-retry); the
         exception lists every structured failure.
+    repro.netsim.batchfluid.BatchCompatError
+        With ``sim_batch=True``, when cells cannot share a batch (e.g.
+        packet-simulator scenarios).
     """
+    if sim_batch:
+        if engine is not None:
+            raise ValueError("sim_batch=True runs in-process; pass "
+                             "engine=None (or drop sim_batch)")
+        base = base or ScenarioConfig()
+        cells = spec.cells()
+        jobs = [(s, replace(base, load=l, workload=w)) for s, l, w in cells]
+        results = run_scenarios_batched(jobs)
+        return [SweepCell(scheme=s, load=l, workload=w,
+                          metrics=res.summary_row())
+                for (s, l, w), res in zip(cells, results)]
     return run_sweep_report(spec, base, workers=workers,
                             engine=engine).values()
 

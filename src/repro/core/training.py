@@ -24,10 +24,11 @@ from repro.core.config import PETConfig
 from repro.core.pet import PETController
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
-from repro.parallel.seeding import current_task_seed, derive_seed
+from repro.parallel.seeding import current_task_seed, derive_seed, task_seed
 from repro.rl.checkpoint import CheckpointManager
 
-__all__ = ["LoopResult", "run_control_loop", "pretrain_offline",
+__all__ = ["LoopResult", "run_control_loop", "run_control_loop_batched",
+           "pretrain_offline",
            "pretrain_offline_multi", "SeedRunResult", "pretrain_one_seed",
            "pretrain_multi_seed"]
 
@@ -118,6 +119,67 @@ def run_control_loop(network, controller, *, intervals: int, delta_t: float,
                       mean_reward=float(np.mean(trace)) if trace else 0.0,
                       rewards_per_switch=rewards, reward_trace=trace,
                       faults=_collect_faults(controller, chaos))
+
+
+def run_control_loop_batched(batch, controllers: Sequence, *,
+                             intervals: int, delta_t: float,
+                             on_intervals: Optional[Sequence] = None,
+                             task_seeds: Optional[Sequence] = None
+                             ) -> List[LoopResult]:
+    """Drive R (controller, replica) pairs against one batched simulator.
+
+    The sim-as-batch counterpart of :func:`run_control_loop`: ``batch``
+    is a :class:`repro.netsim.batchfluid.BatchFluidNetwork` whose
+    replica *r* is steered by ``controllers[r]``.  All replicas advance
+    with one vectorized kernel per Δt; the per-replica bookkeeping
+    (stats, decide, reward trace) then runs replica-major with exactly
+    :func:`run_control_loop`'s arithmetic, so each replica's
+    ``LoopResult`` is bit-identical to a solo run of the same pair.
+
+    ``task_seeds[r]`` (when given) scopes every replica-r call in
+    :func:`repro.parallel.seeding.task_seed`, mirroring how the rollout
+    engine seeds one task per replica on the per-process path.  Chaos
+    injection is not supported here — batch replicas steer faults
+    directly through ``batch.view(r)``.
+    """
+    if intervals <= 0:
+        raise ValueError("intervals must be positive")
+    R = len(batch)
+    if len(controllers) != R:
+        raise ValueError(f"need {R} controllers, got {len(controllers)}")
+    tr = get_tracer()
+    reg = get_registry()
+    seeds = task_seeds if task_seeds is not None else [None] * R
+    traces: List[List[float]] = [[] for _ in range(R)]
+    per_switch: List[Dict[str, List[float]]] = [{} for _ in range(R)]
+    for i in range(intervals):
+        with tr.span("loop.tick_batched", interval=i, now=batch.now,
+                     replicas=R):
+            batch.advance(delta_t)
+            for r in range(R):
+                net = batch.view(r)
+                stats = net.queue_stats()
+                with task_seed(seeds[r]):
+                    controllers[r].decide(stats, net.now, net)
+                util = [st.utilization for st in stats.values()]
+                mean_util = float(np.mean(util)) if util else 0.0
+                traces[r].append(mean_util)
+                for name, st in stats.items():
+                    per_switch[r].setdefault(name, []).append(
+                        st.avg_qlen_bytes)
+                if reg:
+                    reg.inc("loop.intervals")
+                    reg.observe("loop.mean_utilization", mean_util)
+                if on_intervals is not None and on_intervals[r] is not None:
+                    on_intervals[r](i, net.now, stats)
+    return [LoopResult(intervals=intervals,
+                       mean_reward=float(np.mean(traces[r])) if traces[r]
+                       else 0.0,
+                       rewards_per_switch={k: float(np.mean(v))
+                                           for k, v in per_switch[r].items()},
+                       reward_trace=traces[r],
+                       faults=_collect_faults(controllers[r], None))
+            for r in range(R)]
 
 
 def pretrain_offline(make_network: Callable[[], object],
@@ -318,7 +380,8 @@ def pretrain_multi_seed(make_network: Callable[[int], object],
                         episodes: int = 1, intervals_per_episode: int = 1000,
                         workers: int = 1, engine=None,
                         checkpoint_dir: Optional[str] = None,
-                        checkpoint_every: int = 500) -> List[SeedRunResult]:
+                        checkpoint_every: int = 500,
+                        sim_batch: bool = False) -> List[SeedRunResult]:
     """Fan independent per-seed offline trainings across workers.
 
     The multi-seed analogue of :func:`pretrain_offline_multi`: each seed
@@ -328,6 +391,14 @@ def pretrain_multi_seed(make_network: Callable[[int], object],
     ``derive_seed(seed_root, i)``; results come back ordered by task id,
     so ``workers=1`` and ``workers=N`` return identical lists
     (``tests/test_determinism.py`` locks this down).
+
+    ``sim_batch=True`` selects the sim-as-batch replica backend instead
+    of the process pool: all seeds' simulators step as one
+    :class:`repro.netsim.batchfluid.BatchFluidNetwork` tensor program
+    in this process.  Results are bit-identical to the per-process path
+    (``tests/test_training_helpers.py`` locks this down); it requires
+    ``make_network`` to build fluid-model networks of one shared fabric
+    shape and ignores ``workers``.
     """
     from repro.parallel.engine import Engine, TaskSpec
     if seeds is None:
@@ -337,6 +408,14 @@ def pretrain_multi_seed(make_network: Callable[[int], object],
     seeds = [int(s) for s in seeds]
     if len(set(seeds)) != len(seeds):
         raise ValueError("seeds must be distinct")
+    if sim_batch:
+        if engine is not None:
+            raise ValueError("sim_batch=True steps every seed in-process; "
+                             "pass engine=None (or drop sim_batch)")
+        return _pretrain_seeds_batched(
+            make_network, config, seeds=seeds, episodes=episodes,
+            intervals_per_episode=intervals_per_episode,
+            checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every)
     eng = engine if engine is not None else Engine(workers=workers)
     specs = [TaskSpec(task_id=i, fn=pretrain_one_seed,
                       args=(make_network, config),
@@ -347,3 +426,84 @@ def pretrain_multi_seed(make_network: Callable[[int], object],
                       seed=s)
              for i, s in enumerate(seeds)]
     return eng.run(specs).values()
+
+
+def _pretrain_seeds_batched(make_network: Callable[[int], object],
+                            config: Optional[PETConfig], *,
+                            seeds: Sequence[int], episodes: int,
+                            intervals_per_episode: int,
+                            checkpoint_dir: Optional[str],
+                            checkpoint_every: int,
+                            checkpoint_keep: int = 3) -> List[SeedRunResult]:
+    """Sim-as-batch body of :func:`pretrain_multi_seed`.
+
+    One replica per seed; per-replica setup/decide runs inside
+    ``task_seed(seed)`` exactly as the engine scopes one task per seed,
+    so every ``SeedRunResult`` is bit-identical to the per-process
+    path's.
+    """
+    from repro.netsim.batchfluid import BatchCompatError, BatchFluidNetwork
+    from repro.netsim.fluid import FluidNetwork
+    tr = get_tracer()
+    ctxs = []                       # (seed, cfg, controller, checkpoints)
+    nets = []
+    for s in seeds:
+        with task_seed(s):
+            cfg = _resolve_config(config, s)
+            if cfg.seed != s:
+                cfg = replace(cfg, seed=s)
+            net = make_network(s)
+            if not isinstance(net, FluidNetwork):
+                raise BatchCompatError(
+                    "sim_batch=True requires fluid-model networks "
+                    f"(got {type(net).__name__}); use the per-process "
+                    "path for other simulators")
+            controller = PETController(net.switch_names(), cfg)
+            controller.set_training(True)
+        checkpoints = None
+        if checkpoint_dir is not None:
+            checkpoints = CheckpointManager(
+                os.path.join(checkpoint_dir, f"seed-{s:08d}"),
+                keep=checkpoint_keep)
+        ctxs.append((s, cfg, controller, checkpoints))
+        nets.append(net)
+    delta_ts = {ctx[1].delta_t for ctx in ctxs}
+    if len(delta_ts) != 1:
+        raise BatchCompatError("sim_batch replicas must share delta_t")
+    delta_t = delta_ts.pop()
+    episodes_out: List[List[LoopResult]] = [[] for _ in seeds]
+    for ep in range(episodes):
+        if ep > 0:
+            nets = []
+            for s, cfg, controller, _ck in ctxs:
+                with task_seed(s):
+                    nets.append(make_network(s))
+                    controller.reset_episode()
+        batch = BatchFluidNetwork.from_networks(nets)
+        on_intervals = []
+        for s, cfg, controller, checkpoints in ctxs:
+            get_registry().inc("train.episodes")
+            tr.event("train.episode", episode=ep,
+                     intervals=intervals_per_episode, seed=s)
+            cb = None
+            if checkpoints is not None:
+                base = ep * intervals_per_episode
+
+                def cb(i: int, now: float, stats: Dict, _base: int = base,
+                       _ck=checkpoints, _ctrl=controller) -> None:
+                    if (i + 1) % checkpoint_every == 0:
+                        _ck.save(_ctrl.state_dict(), _base + i + 1)
+            on_intervals.append(cb)
+        results = run_control_loop_batched(
+            batch, [ctx[2] for ctx in ctxs],
+            intervals=intervals_per_episode, delta_t=delta_t,
+            on_intervals=on_intervals, task_seeds=list(seeds))
+        for r, res in enumerate(results):
+            episodes_out[r].append(res)
+    for s, _cfg, controller, checkpoints in ctxs:
+        if checkpoints is not None:
+            checkpoints.save(controller.state_dict(),
+                             episodes * intervals_per_episode)
+    return [SeedRunResult(seed=s, state=controller.state_dict(),
+                          episodes=episodes_out[r])
+            for r, (s, _cfg, controller, _ck) in enumerate(ctxs)]

@@ -219,12 +219,62 @@ def _build_fluid_sim(fastpath: bool, quick: bool
     return run, f"intervals={intervals}"
 
 
+def _build_sim_batch(fastpath: bool, quick: bool
+                     ) -> Tuple[Callable[[], Any], str]:
+    """Sim-as-batch: R fluid replicas — solo loop vs one (R, n, H) kernel.
+
+    The two legs repurpose the fastpath switch: ``fastpath=False`` steps
+    R independent ``FluidNetwork`` replicas in a Python loop (the
+    per-process evaluation model, minus process overhead);
+    ``fastpath=True`` adopts the same replicas into one
+    :class:`repro.netsim.batchfluid.BatchFluidNetwork`.  Replicas carry
+    heterogeneous seeds, traffic and ECN configs, and the fingerprinted
+    per-replica interval stats must be bit-identical across legs (the
+    sim-as-batch contract; ``tests/test_batchfluid.py``).
+    """
+    from repro.netsim.batchfluid import BatchFluidNetwork
+    from repro.netsim.ecn import ECNConfig
+    from repro.obs.trace import get_tracer
+
+    # R stays the same in both modes: the measured speedup scales with
+    # the replica count, and the CI quick run is guarded against the
+    # committed full-mode baseline — only the horizon shrinks.
+    R = 8
+    intervals = 25 if quick else 120
+    fabric = _tick_fabric(quick)
+    nets = [_traffic_net(fabric, fastpath=True, seed=10 + r,
+                         duration=intervals * 1e-3, load=0.7)
+            for r in range(R)]
+    for r, net in enumerate(nets):
+        net.set_ecn_all(ECNConfig(kmin_bytes=10_000 * (r + 1),
+                                  kmax_bytes=60_000 * (r + 1),
+                                  pmax=0.1 + 0.1 * r))
+    batch = BatchFluidNetwork.from_networks(nets) if fastpath else None
+
+    def run():
+        tr = get_tracer()
+        stats = []
+        for i in range(intervals):
+            with tr.span("net.advance", interval=i):
+                if batch is not None:
+                    batch.advance(1e-3)
+                else:
+                    for net in nets:
+                        net.advance(1e-3)
+            with tr.span("net.queue_stats", interval=i):
+                stats.append([net.queue_stats() for net in nets])
+        return {"stats": stats, "q_len": [net.q_len.copy() for net in nets]}
+
+    return run, f"replicas={R} intervals={intervals}"
+
+
 HOTPATH_WORKLOADS: Dict[str, Callable[[bool, bool],
                                       Tuple[Callable[[], Any], str]]] = {
     "tick_loop": _build_tick_loop,
     "ppo_update": _build_ppo_update,
     "packet_sim": _build_packet_sim,
     "fluid_sim": _build_fluid_sim,
+    "sim_batch": _build_sim_batch,
 }
 
 

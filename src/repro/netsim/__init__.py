@@ -21,6 +21,8 @@ Fluid model
 :mod:`repro.netsim.fluid` is a time-stepped rate/queue model exposing the
 same per-switch statistics interface; it is orders of magnitude faster
 and is what the RL training sweeps in the benchmark harness run on.
+:mod:`repro.netsim.batchfluid` steps R independent fluid replicas as one
+``(R, n, H)`` tensor program, bit-identical per replica to solo runs.
 """
 
 from repro.netsim.engine import Simulator, Event
@@ -31,6 +33,7 @@ from repro.netsim.queueing import ByteQueue
 from repro.netsim.topology import LeafSpineTopology, TopologyConfig
 from repro.netsim.network import PacketNetwork, QueueStats
 from repro.netsim.fluid import FluidNetwork, FluidConfig
+from repro.netsim.batchfluid import BatchFluidNetwork, BatchCompatError
 from repro.netsim.failures import LinkFailureInjector
 from repro.netsim.pfc import PFCController, enable_pfc
 
@@ -40,5 +43,6 @@ __all__ = [
     "LeafSpineTopology", "TopologyConfig",
     "PacketNetwork", "QueueStats",
     "FluidNetwork", "FluidConfig", "LinkFailureInjector",
+    "BatchFluidNetwork", "BatchCompatError",
     "PFCController", "enable_pfc",
 ]

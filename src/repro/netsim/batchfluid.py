@@ -1,0 +1,525 @@
+"""Sim-as-batch: step R fluid-model replicas as one tensor program.
+
+Every evaluation harness in this repo — multi-seed pretraining, sweep
+grids, figure matrices, chaos sweeps — runs R *independent* replicas of
+the same fabric that differ only in seed, ECN configuration, traffic,
+or fault plan.  Stepping them as R separate :class:`FluidNetwork`
+objects pays the Python step overhead R times per Δt;
+:class:`BatchFluidNetwork` refactors the scratch-buffer math of
+``FluidNetwork._step_fast`` to carry a leading replica axis, so R
+replicas advance with **one** vectorized kernel per Δt over
+``(R, n, H)`` flow tensors and ``(R, Q)`` queue tensors.
+
+The correctness contract is the same bit-identity discipline the
+fastpath and parallel subsystems already prove: every replica of a
+batch is **bit-identical** (canonical fingerprints, ``bench --hotpath``
+style) to a solo ``FluidNetwork`` run with the same seed/config.  The
+kernel earns this by construction rather than by tolerance:
+
+- every elementwise ladder keeps ``_step_fast``'s exact operation order
+  and associativity — a leading replica axis never reorders the scalar
+  operations applied to one replica's elements;
+- the two ordered accumulations (``np.bincount`` for NIC sharing,
+  ``np.add.at`` for queue arrivals) run on **offset-flattened** index
+  spaces (replica r's host h → bin ``r*n_hosts + h``; queue q → slot
+  ``r*(Q+1) + q``), so each bin receives exactly its own replica's
+  contributions in exactly the solo iteration order (hop-major, then
+  flow order);
+- padded path entries (-1) land in per-replica dummy slots (``-1``
+  plus a block offset of ``Q+1`` is always *some* block's dummy), so
+  no validity masking perturbs the real sums;
+- per-replica bookkeeping that is inherently scalar — flow activation,
+  slot recycling, completion, Fig. 8 latency sampling with the
+  replica's own RNG — runs the solo code per replica, in replica-major
+  order, against row views of the batch storage.
+
+Replicas are real :class:`FluidNetwork` instances whose queue/flow
+arrays are **row views** into the batch's ``(R, ...)`` storage:
+``view(r)`` therefore supports the entire solo read/control surface
+(``queue_stats``, ``set_ecn``, ``fail_uplinks``,
+``set_fabric_capacity_factor``, ``start_flows``) unmodified and
+indistinguishably from a solo network — heterogeneous per-replica ECN
+configs, mid-run ``set_ecn`` divergence and chaos variants all work by
+simply mutating one row.  Direct ``advance`` on an attached replica is
+blocked (the batch owns time); ``split()`` detaches every replica into
+a standalone network that continues bit-identically on its own.
+
+Memory scales as ``R * flow_capacity * (H + c)`` floats plus
+``R * Q`` per queue-space buffer — see docs/PERFORMANCE.md for the
+sizing discussion and the ``sim_batch`` benchmark workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netsim.ecn import ECNConfig
+from repro.netsim.fluid import FluidConfig, FluidNetwork
+from repro.netsim.network import QueueStats
+from repro.obs.metrics import get_registry
+
+__all__ = ["BatchCompatError", "BatchFluidNetwork"]
+
+_HOPS = FluidNetwork._MAX_HOPS
+
+#: flow-array attributes adopted into (R, cap) batch storage.
+_FLOW_1D = ("f_src", "f_dst", "f_size", "f_remaining", "f_rate",
+            "f_alpha", "f_active", "f_spine")
+#: queue-array attributes adopted into (R, Q) batch storage.
+_QUEUE_1D = ("q_cap", "q_len", "kmin", "kmax", "pmax",
+             "_acc_tx", "_acc_marked", "_acc_qlen_area", "_acc_drops")
+
+
+class BatchCompatError(ValueError):
+    """Replicas cannot be batched (shape/config/time mismatch)."""
+
+
+def _kernel_config_key(cfg: FluidConfig) -> tuple:
+    """The FluidConfig fields the batched kernel shares across replicas.
+
+    ``default_ecn`` is excluded (it only seeds the per-replica
+    kmin/kmax/pmax rows, which stay heterogeneous) and so is
+    ``initial_flow_capacity`` (capacity never affects results).
+    """
+    return (cfg.n_spine, cfg.n_leaf, cfg.hosts_per_leaf, cfg.host_rate_bps,
+            cfg.spine_rate_bps, cfg.base_rtt, cfg.step_dt, cfg.g,
+            cfg.md_gain, cfg.ai_fraction, cfg.min_rate_fraction,
+            cfg.start_rate_fraction, cfg.switch_buffer_bytes,
+            cfg.latency_sample_cap)
+
+
+class BatchFluidNetwork:
+    """R fluid-model replicas advanced by one ``(R, n, H)`` kernel.
+
+    Construct fresh replicas with ``BatchFluidNetwork(config, seeds=...)``
+    or adopt existing (possibly mid-run) solo networks with
+    :meth:`from_networks`.  Advance them together with :meth:`advance`;
+    read or steer any replica through :meth:`view`; detach them all
+    with :meth:`split`.
+    """
+
+    def __init__(self, config: Optional[FluidConfig] = None, *,
+                 seeds: Sequence[Optional[int]] = (0,),
+                 ecn_configs: Optional[Sequence[ECNConfig]] = None) -> None:
+        config = config or FluidConfig()
+        if len(seeds) < 1:
+            raise BatchCompatError("need at least one replica seed")
+        if ecn_configs is not None and len(ecn_configs) != len(seeds):
+            raise BatchCompatError("ecn_configs must match seeds length")
+        nets = [FluidNetwork(config, seed=s) for s in seeds]
+        if ecn_configs is not None:
+            for net, ecn in zip(nets, ecn_configs):
+                net.set_ecn_all(ecn)
+        self._adopt(nets)
+
+    @classmethod
+    def from_networks(cls, nets: Sequence[FluidNetwork]
+                      ) -> "BatchFluidNetwork":
+        """Adopt existing solo networks (state is taken as-is, mid-run ok).
+
+        All replicas must share the same fabric shape and fluid
+        constants (``default_ecn``/``initial_flow_capacity`` may
+        differ), the same virtual time, and must not already belong to
+        another batch.
+        """
+        batch = cls.__new__(cls)
+        batch._adopt(list(nets))
+        return batch
+
+    # ------------------------------------------------------------ adoption
+    def _adopt(self, nets: List[FluidNetwork]) -> None:
+        if not nets:
+            raise BatchCompatError("need at least one replica")
+        for net in nets:
+            if not isinstance(net, FluidNetwork):
+                raise BatchCompatError(
+                    f"replica backend requires FluidNetwork instances, "
+                    f"got {type(net).__name__}")
+            if net._batch is not None:
+                raise BatchCompatError(
+                    "network already belongs to a BatchFluidNetwork")
+        ref = nets[0]
+        key = _kernel_config_key(ref.config)
+        for net in nets[1:]:
+            if _kernel_config_key(net.config) != key:
+                raise BatchCompatError(
+                    "replicas must share fabric shape and fluid constants "
+                    "(only ECN configs, seeds, traffic and faults may "
+                    "differ)")
+            # Lockstep demands *bit-identical* clocks, not merely close
+            # ones — a ULP of drift would desynchronize _activate_due.
+            if net.now != ref.now:  # pet: noqa-PET003
+                raise BatchCompatError(
+                    "replicas must share virtual time at adoption")
+        self.nets = nets
+        self.config = ref.config
+        self.R = len(nets)
+        self.n_queues = ref.n_queues
+        self._detached = False
+
+        R, nq = self.R, self.n_queues
+        cap = max(net._cap_flows for net in nets)
+        # ---- queue-space batch storage (adopt values, re-point views) ----
+        for name in _QUEUE_1D:
+            batched = np.zeros((R, nq))
+            for r, net in enumerate(nets):
+                batched[r] = getattr(net, name)
+            setattr(self, "_q_" + name.lstrip("_"), batched)
+            for r, net in enumerate(nets):
+                setattr(net, name, batched[r])
+        # ---- flow-space batch storage ------------------------------------
+        self._cap = cap
+        self._alloc_flow_storage(cap, copy_from=None)
+        for r, net in enumerate(nets):
+            ncap = net._cap_flows
+            for name in _FLOW_1D:
+                getattr(self, "_f_" + name[2:])[r, :ncap] = getattr(net, name)
+            self._f_path[r, :ncap] = net.f_path
+            self._point_views(r)
+            net._cap_flows = cap
+            net._batch = self
+        # ---- kernel scratch ----------------------------------------------
+        self._q_qlen_next = np.zeros((R, nq))
+        self._q_served = np.zeros((R, nq))
+        self._q_drops = np.zeros((R, nq))
+        self._q_span = np.zeros((R, nq))
+        self._q_pmark = np.zeros((R, nq))
+        self._q_qtmp = np.zeros((R, nq))
+        self._q_srv = np.zeros((R, nq))
+        self._q_onem = np.zeros((R, nq))
+        self._hosts_scale = np.ones((R, self.config.n_hosts))
+        self._arrival_flat = np.zeros(R * (nq + 1))
+        self._scap = 0          # flow-scratch capacity (lazy, see _alloc)
+        self._qoff = (np.arange(R, dtype=np.int64) * nq)[:, None, None]
+        self._dead = np.zeros(R, dtype=bool)
+
+    def _alloc_flow_storage(self, cap: int, copy_from: Optional[int]) -> None:
+        """(Re)allocate the (R, cap) flow matrices; ``copy_from`` is the
+        previous capacity to preserve, or None on first allocation."""
+        R = self.R
+        dtypes = {"f_src": np.int64, "f_dst": np.int64, "f_size": float,
+                  "f_remaining": float, "f_rate": float, "f_alpha": float,
+                  "f_active": bool, "f_spine": np.int64}
+        for name in _FLOW_1D:
+            new = np.zeros((R, cap), dtype=dtypes[name])
+            if name == "f_spine":
+                new.fill(-1)
+            if copy_from:
+                new[:, :copy_from] = getattr(self, "_f_" + name[2:])
+            setattr(self, "_f_" + name[2:], new)
+        new_path = np.full((R, cap, _HOPS), -1, dtype=np.int64)
+        if copy_from:
+            new_path[:, :copy_from] = self._f_path
+        self._f_path = new_path
+
+    def _point_views(self, r: int) -> None:
+        net = self.nets[r]
+        for name in _FLOW_1D:
+            setattr(net, name, getattr(self, "_f_" + name[2:])[r])
+        net.f_path = self._f_path[r]
+
+    def _alloc_flow_scratch(self, cap: int) -> None:
+        R = self.R
+        for name in ("_s_send", "_s_nomark", "_s_bneck", "_s_qdelay",
+                     "_s_mark", "_s_f1", "_s_f2"):
+            setattr(self, name, np.zeros((R, cap)))
+        self._s_m1 = np.zeros((R, cap), dtype=bool)
+        self._s_m2 = np.zeros((R, cap), dtype=bool)
+        self._scap = cap
+
+    def _grow_flows(self) -> None:
+        """Double the batch flow capacity, preserving every replica's
+        aliasing (called from :meth:`FluidNetwork._grow` on any replica)."""
+        if self._detached:
+            raise RuntimeError("batch was split(); replicas own their "
+                               "arrays now")
+        old_cap, new_cap = self._cap, self._cap * 2
+        self._alloc_flow_storage(new_cap, copy_from=old_cap)
+        self._cap = new_cap
+        for r, net in enumerate(self.nets):
+            self._point_views(r)
+            net._cap_flows = new_cap
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return self.R
+
+    @property
+    def now(self) -> float:
+        return self.nets[0].now
+
+    def view(self, r: int) -> FluidNetwork:
+        """Replica ``r`` as a live :class:`FluidNetwork` (shared storage).
+
+        Supports the full solo surface — ``queue_stats``,
+        ``flow_observations`` (via ``queue_stats``), ``set_ecn``,
+        failures, ``start_flows`` — except ``advance``, which must go
+        through the batch.
+        """
+        return self.nets[r]
+
+    def views(self) -> List[FluidNetwork]:
+        return list(self.nets)
+
+    def queue_stats(self) -> List[Dict[str, QueueStats]]:
+        """Per-replica interval statistics (resets each replica's
+        interval), replica-major."""
+        return [net.queue_stats() for net in self.nets]
+
+    def split(self) -> List[FluidNetwork]:
+        """Detach every replica into a standalone solo network.
+
+        Each replica takes ownership of copies of its rows; continuing
+        to ``advance`` a detached replica is bit-identical to having
+        continued the batch.  The batch itself becomes unusable.
+        """
+        for r, net in enumerate(self.nets):
+            for name in _QUEUE_1D:
+                setattr(net, name, getattr(net, name).copy())
+            for name in _FLOW_1D:
+                setattr(net, name, getattr(net, name).copy())
+            net.f_path = net.f_path.copy()
+            net._batch = None
+        self._detached = True
+        return list(self.nets)
+
+    # ------------------------------------------------------------ dynamics
+    def advance(self, dt: float) -> None:
+        """Advance all replicas by ``dt`` (an integer number of steps)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if self._detached:
+            raise RuntimeError("batch was split(); advance the replicas")
+        steps = max(1, int(round(dt / self.config.step_dt)))
+        step_dt = self.config.step_dt
+        for _ in range(steps):
+            self._batch_step(step_dt)
+        reg = get_registry()
+        if reg:
+            reg.inc("netsim.advance_calls", sim="fluid_batch")
+            reg.inc("netsim.steps", steps * self.R, sim="fluid_batch")
+            reg.inc("netsim.virtual_s", dt, sim="fluid_batch")
+
+    def _batch_step(self, dt: float) -> None:
+        """One Δt for all R replicas — ``_step_fast`` with a replica axis.
+
+        Every ladder below is the solo ladder with ``(R, ...)`` operands;
+        comments call out only where the batch axis needs something the
+        solo kernel does not.
+        """
+        cfg = self.config
+        nets = self.nets
+        R, nq = self.R, self.n_queues
+        # -- per-replica scalar prologue (solo: now += dt; _activate_due) --
+        for net in nets:
+            net.now += dt
+            net._activate_due()          # may trigger _grow_flows()
+        q_len = self._q_q_len
+        qtmp = self._q_qtmp
+        dead = self._dead
+        for r, net in enumerate(nets):
+            dead[r] = net._n_flows == 0
+        n = max(net._n_flows for net in nets)
+        if n == 0:
+            # solo early path, for every replica at once
+            np.multiply(q_len, dt, out=qtmp)
+            self._q_acc_qlen_area += qtmp
+            for net in nets:
+                net._acc_time += dt
+            return
+        have_dead = bool(dead.any())
+        if self._scap < self._cap:
+            self._alloc_flow_scratch(self._cap)
+        active = self._f_active[:, :n]
+        rate = self._f_rate[:, :n]
+        r_ids, f_ids = active.nonzero()       # replica-major, flow order
+
+        # --- NIC sharing: cap the sum of a host's flow rates at line rate.
+        line = cfg.host_rate_bps / 8.0
+        src = self._f_src[:, :n]
+        send = self._s_send[:, :n]
+        send.fill(0.0)
+        np.copyto(send, rate, where=active)
+        send_idx = send[r_ids, f_ids]
+        # Offset-flattened bincount: replica r's host h accumulates in
+        # bin r*n_hosts + h, in the solo per-bin order.
+        per_src = np.bincount(src[r_ids, f_ids] + r_ids * cfg.n_hosts,
+                              weights=send_idx,
+                              minlength=R * cfg.n_hosts
+                              ).reshape(R, cfg.n_hosts)
+        over = per_src > line
+        if over.any():
+            scale_src = self._hosts_scale
+            scale_src.fill(1.0)
+            scale_src[over] = line / per_src[over]
+            # x * 1.0 is exact, so replicas with no oversubscribed host
+            # are bit-unchanged even though solo skips the multiply.
+            send *= np.take_along_axis(scale_src, src, axis=1)
+            send_idx = send[r_ids, f_ids]
+
+        # --- arrivals per queue ------------------------------------------
+        # One hop-major scatter-add over the offset-flattened queue space
+        # (block r = [r*(Q+1), r*(Q+1)+Q], dummy at the block end).  A
+        # padded hop (-1) plus its block offset always lands in *a*
+        # dummy slot (block r-1's, or the last block's for r=0), so no
+        # validity mask is needed — exactly the solo trick, replicated
+        # per block.
+        path = self._f_path[:, :n]
+        p_off = path[r_ids, f_ids] + (r_ids * (nq + 1))[:, None]
+        arrival_flat = self._arrival_flat
+        arrival_flat.fill(0.0)
+        p_t = p_off.T
+        np.add.at(arrival_flat, p_t, np.broadcast_to(send_idx, p_t.shape))
+        arrival = arrival_flat.reshape(R, nq + 1)[:, :nq]
+
+        # --- queue integration & marking -----------------------------------
+        cap = self._q_q_cap
+        served_rate = self._q_served
+        np.divide(q_len, dt, out=served_rate)
+        served_rate += arrival
+        np.minimum(served_rate, cap, out=served_rate)
+        new_qlen = self._q_qlen_next
+        np.subtract(arrival, cap, out=new_qlen)
+        new_qlen *= dt
+        new_qlen += q_len
+        np.maximum(new_qlen, 0.0, out=new_qlen)
+        drops = self._q_drops
+        np.subtract(new_qlen, cfg.switch_buffer_bytes, out=drops)
+        np.maximum(drops, 0.0, out=drops)
+        np.minimum(new_qlen, cfg.switch_buffer_bytes, out=new_qlen)
+        # RED mark probability on instantaneous occupancy
+        span = self._q_span
+        np.subtract(self._q_kmax, self._q_kmin, out=span)
+        np.maximum(span, 1.0, out=span)
+        p_mark = self._q_pmark
+        np.subtract(new_qlen, self._q_kmin, out=p_mark)
+        p_mark /= span
+        np.maximum(p_mark, 0.0, out=p_mark)
+        np.minimum(p_mark, 1.0, out=p_mark)
+        p_mark *= self._q_pmax
+        np.copyto(p_mark, 1.0, where=new_qlen >= self._q_kmax)
+
+        # --- stats ----------------------------------------------------------
+        # Replicas with no flows yet take solo's early path: queues hold,
+        # only the qlen area integrates.  Their rows are masked out of
+        # the main-path commits and given the early-path values instead.
+        np.multiply(served_rate, dt, out=qtmp)
+        if have_dead:
+            qtmp[dead] = 0.0
+        self._q_acc_tx += qtmp
+        qtmp *= p_mark
+        self._q_acc_marked += qtmp
+        np.add(q_len, new_qlen, out=qtmp)
+        qtmp *= 0.5
+        qtmp *= dt
+        if have_dead:
+            qtmp[dead] = q_len[dead] * dt
+            drops[dead] = 0.0
+        self._q_acc_qlen_area += qtmp
+        self._q_acc_drops += drops
+        for net in nets:
+            net._acc_time += dt
+        # Commit the new queue lengths (solo swaps buffers; the copy
+        # commits the same values while keeping every row view stable).
+        if have_dead:
+            new_qlen[dead] = q_len[dead]
+        q_len[:] = new_qlen
+
+        # --- end-to-end mark fraction per flow --------------------------------
+        # Whole-path (R, n, H) gathers over offset-flattened queue space;
+        # the padding identities (x1.0, min(.,1.0), +0.0) are solo's.
+        srv_ratio = self._q_srv
+        np.maximum(arrival, cap, out=srv_ratio)
+        np.divide(cap, srv_ratio, out=srv_ratio)   # <=1 where overloaded
+        safe = np.maximum(path, 0)
+        safe += self._qoff
+        notval = path < 0
+        one_m = self._q_onem
+        np.subtract(1.0, p_mark, out=one_m)
+        g2 = one_m.reshape(-1).take(safe)          # (R, n, H) of 1 - p_mark
+        np.copyto(g2, 1.0, where=notval)
+        no_mark = self._s_nomark[:, :n]
+        np.copyto(no_mark, g2[:, :, 0])
+        for hop in range(1, _HOPS):
+            no_mark *= g2[:, :, hop]
+        d2 = srv_ratio.reshape(-1).take(safe)
+        np.copyto(d2, 1.0, where=notval)
+        bottleneck = self._s_bneck[:, :n]
+        np.copyto(bottleneck, d2[:, :, 0])
+        for hop in range(1, _HOPS):
+            np.minimum(bottleneck, d2[:, :, hop], out=bottleneck)
+        d2 = q_len.reshape(-1).take(safe)
+        g2 = cap.reshape(-1).take(safe)
+        d2 /= g2
+        np.copyto(d2, 0.0, where=notval)
+        qdelay = self._s_qdelay[:, :n]
+        np.copyto(qdelay, d2[:, :, 0])
+        for hop in range(1, _HOPS):
+            qdelay += d2[:, :, hop]
+        f1 = self._s_f1[:, :n]
+        f2 = self._s_f2[:, :n]
+        mark_frac = self._s_mark[:, :n]
+        np.subtract(1.0, no_mark, out=mark_frac)
+
+        # --- DCQCN-like AIMD ---------------------------------------------------
+        a = self._f_alpha[:, :n]
+        np.multiply(a, 1.0 - cfg.g, out=f1)
+        np.multiply(mark_frac, cfg.g, out=f2)
+        f1 += f2
+        np.copyto(a, f1, where=active)
+        np.multiply(a, 0.5, out=f1)
+        f1 *= cfg.md_gain
+        f1 *= mark_frac
+        np.subtract(1.0, f1, out=f1)
+        f1 *= rate                                  # rate * cut
+        grow = cfg.ai_fraction * line
+        np.add(rate, grow, out=f2)                  # rate + grow
+        marked = self._s_m1[:, :n]
+        np.greater(mark_frac, 1e-3, out=marked)
+        np.copyto(f2, f1, where=marked)             # == where(marked, f1, f2)
+        floor = cfg.min_rate_fraction * line
+        np.maximum(f2, floor, out=f2)
+        np.minimum(f2, line, out=f2)
+        np.copyto(rate, f2, where=active)
+
+        # --- progress & completion ---------------------------------------------
+        np.multiply(send, bottleneck, out=f1)       # throughput
+        f1 *= dt
+        self._f_remaining[:, :n] -= f1
+        finished = self._s_m2[:, :n]
+        np.less_equal(self._f_remaining[:, :n], 0.0, out=finished)
+        finished &= active
+        # -- per-replica scalar epilogue: completion + latency sampling --
+        if finished.any():
+            for r in np.unique(finished.nonzero()[0]):
+                net = nets[r]
+                for i in finished[r].nonzero()[0]:
+                    fid = net._idx_to_fid[int(i)]
+                    flow = net.flow_objs[fid]
+                    flow.finish_time = net.now + qdelay[r, i]
+                    flow.bytes_sent = flow.size_bytes
+                    flow.bytes_acked = flow.size_bytes
+                    net.finished_flows.append(flow)
+                    net.f_active[i] = False
+                    net.f_remaining[i] = 0.0
+                    del net._idx_to_fid[int(i)]
+                    net._free_list.append(int(i))
+        for r, net in enumerate(nets):
+            if len(net.latencies) < cfg.latency_sample_cap:
+                act_idx = net.f_active[:net._n_flows].nonzero()[0]
+                if act_idx.size:
+                    i = int(act_idx[net.rng.integers(act_idx.size)])
+                    net.latencies.append(
+                        (net.now, cfg.base_rtt / 2.0 + qdelay[r, i]))
+
+    # ------------------------------------------------------------ control
+    def set_ecn(self, r: int, switch_name: str, config: ECNConfig) -> None:
+        """Configure one replica's switch (convenience for
+        ``view(r).set_ecn``)."""
+        self.nets[r].set_ecn(switch_name, config)
+
+    def set_ecn_all(self, r: int, config: ECNConfig) -> None:
+        self.nets[r].set_ecn_all(config)

@@ -58,12 +58,18 @@ class FluidConfig:
     start_rate_fraction: float = 1.0
     switch_buffer_bytes: int = 9_000_000
     latency_sample_cap: int = 100_000
+    #: initial flow-slot capacity (grown by doubling on demand).  The
+    #: capacity never affects results — ``_grow`` preserves contents —
+    #: so tests shrink it to exercise mid-run reallocation cheaply.
+    initial_flow_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if min(self.n_spine, self.n_leaf, self.hosts_per_leaf) < 1:
             raise ValueError("topology dimensions must be >= 1")
         if self.step_dt <= 0:
             raise ValueError("step_dt must be positive")
+        if self.initial_flow_capacity < 1:
+            raise ValueError("initial_flow_capacity must be >= 1")
 
     @property
     def n_hosts(self) -> int:
@@ -131,7 +137,7 @@ class FluidNetwork:
         self.fabric_capacity_factor = 1.0
 
         # ---- flow arrays (grow-on-demand) ---------------------------------
-        self._cap_flows = 1024
+        self._cap_flows = cfg.initial_flow_capacity
         self._n_flows = 0
         self.f_src = np.zeros(self._cap_flows, dtype=np.int64)
         self.f_dst = np.zeros(self._cap_flows, dtype=np.int64)
@@ -180,6 +186,9 @@ class FluidNetwork:
         self._names_cache: Optional[List[str]] = None
         self._sw_q_idx: Optional[List[np.ndarray]] = None
         self._q_switch_list: Optional[List[int]] = None
+        #: owning :class:`repro.netsim.batchfluid.BatchFluidNetwork`, if
+        #: this network's arrays are row views into batch storage.
+        self._batch = None
 
     # ------------------------------------------------------------ topology
     def switch_names(self) -> List[str]:
@@ -224,6 +233,14 @@ class FluidNetwork:
 
     # ------------------------------------------------------------ flows
     def _grow(self) -> None:
+        if self._batch is not None:
+            # A batched replica's flow arrays are row views into the
+            # batch's (R, cap) storage: growing them locally would break
+            # that aliasing (this replica would silently detach while
+            # the batch kernel keeps stepping the stale storage).  The
+            # batch grows all replicas together and re-points the views.
+            self._batch._grow_flows()
+            return
         new_cap = self._cap_flows * 2
         for name in ("f_src", "f_dst", "f_size", "f_remaining", "f_rate",
                      "f_alpha", "f_active", "f_spine"):
@@ -307,6 +324,10 @@ class FluidNetwork:
         """Advance virtual time by ``dt`` (an integer number of steps)."""
         if dt <= 0:
             raise ValueError("dt must be positive")
+        if self._batch is not None:
+            raise RuntimeError(
+                "this FluidNetwork is a replica of a BatchFluidNetwork; "
+                "advance the batch, or detach it first via split()")
         steps = max(1, int(round(dt / self.config.step_dt)))
         step = self._step_fast if self.fastpath else self._step
         step_dt = self.config.step_dt

@@ -17,7 +17,9 @@ hundred packets, well inside the tier-1 time budget.
 """
 
 import numpy as np
+import pytest
 
+from repro.netsim.batchfluid import BatchFluidNetwork
 from repro.netsim.flow import Flow
 from repro.netsim.fluid import FluidConfig, FluidNetwork
 from repro.netsim.network import PacketNetwork
@@ -48,19 +50,36 @@ def _packet_stats():
     return net.queue_stats()
 
 
-def _fluid_stats():
-    net = FluidNetwork(FluidConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2,
-                                   host_rate_bps=_HOST_BPS,
-                                   spine_rate_bps=_SPINE_BPS), seed=0)
+def _fluid_cfg():
+    return FluidConfig(n_spine=1, n_leaf=2, hosts_per_leaf=2,
+                       host_rate_bps=_HOST_BPS, spine_rate_bps=_SPINE_BPS)
+
+
+def _fluid_stats(batched=False):
+    """Fluid-side stats, either solo or through the (R=1) batch kernel.
+
+    The batched variant runs the same scenario as one replica of a
+    :class:`BatchFluidNetwork` — the differential bands must hold
+    through either backend (and in fact the two are bit-identical;
+    ``tests/test_batchfluid.py``).
+    """
+    if batched:
+        batch = BatchFluidNetwork(_fluid_cfg(), seeds=(0,))
+        net = batch.view(0)
+        net.start_flows(_flows())
+        batch.advance(_DURATION)
+        return net.queue_stats()
+    net = FluidNetwork(_fluid_cfg(), seed=0)
     net.start_flows(_flows())
     net.advance(_DURATION)
     return net.queue_stats()
 
 
+@pytest.mark.parametrize("batched", [False, True], ids=["solo", "sim_batch"])
 class TestFluidVsPacketDifferential:
-    def test_destination_leaf_utilization_within_band(self):
+    def test_destination_leaf_utilization_within_band(self, batched):
         pkt = _packet_stats()
-        fld = _fluid_stats()
+        fld = _fluid_stats(batched)
         u_pkt = pkt["leaf1"].utilization
         u_fld = fld["leaf1"].utilization
         assert u_pkt > 0 and u_fld > 0, "scenario produced no traffic"
@@ -68,11 +87,11 @@ class TestFluidVsPacketDifferential:
             f"leaf1 utilization diverged: packet={u_pkt:.3f} "
             f"fluid={u_fld:.3f}")
 
-    def test_occupancy_ordering_agrees(self):
+    def test_occupancy_ordering_agrees(self, batched):
         """Both simulators must rank the fan-in destination leaf as the
         hottest switch by time-averaged queue occupancy."""
         pkt = _packet_stats()
-        fld = _fluid_stats()
+        fld = _fluid_stats(batched)
         assert set(pkt) == set(fld)          # same switch names
         hottest_pkt = max(pkt, key=lambda n: pkt[n].avg_qlen_bytes)
         hottest_fld = max(fld, key=lambda n: fld[n].avg_qlen_bytes)
@@ -81,11 +100,21 @@ class TestFluidVsPacketDifferential:
         assert (pkt["leaf0"].avg_qlen_bytes <= pkt["leaf1"].avg_qlen_bytes)
         assert (fld["leaf0"].avg_qlen_bytes <= fld["leaf1"].avg_qlen_bytes)
 
-    def test_both_models_deliver_the_offered_bytes(self):
+    def test_both_models_deliver_the_offered_bytes(self, batched):
         offered = sum(_FLOW_SIZES)
-        for stats in (_packet_stats(), _fluid_stats()):
+        for stats in (_packet_stats(), _fluid_stats(batched)):
             delivered = stats["leaf1"].tx_bytes
             # leaf1 egresses every fan-in byte (plus protocol overhead in
             # the packet world) — within 25% of the offered volume.
             assert delivered >= 0.75 * offered
             assert delivered <= 2.0 * offered
+
+
+def test_batched_backend_is_bit_identical_to_solo():
+    """The two fluid backends are not merely within-band of each other —
+    the differential scenario itself is bit-identical through the batch
+    kernel, so the packet-vs-fluid bands above are one comparison, not
+    two."""
+    from repro.parallel.perfbench import _fingerprint
+
+    assert _fingerprint(_fluid_stats(False)) == _fingerprint(_fluid_stats(True))

@@ -68,6 +68,35 @@ def _nap(x):
     return x
 
 
+def _sleep_return(s):
+    time.sleep(s)
+    return s
+
+
+def _hang_once(sentinel):
+    """Sleeps forever on its first run (so a pool kill catches it in
+    flight), returns immediately on the resubmission."""
+    if os.path.exists(sentinel):
+        return "resubmitted"
+    with open(sentinel, "w"):
+        pass
+    time.sleep(600)
+
+
+def _collateral_then_crash_once(mark_dir):
+    """Attempt 1: killed as collateral of another task's timeout (sleeps
+    forever).  Attempt 2 (the resubmission): genuine worker crash.
+    Attempt 3 (the isolated crash-retry): recovers."""
+    n = len(os.listdir(mark_dir))
+    with open(os.path.join(mark_dir, f"mark{n}"), "w"):
+        pass
+    if n == 0:
+        time.sleep(600)
+    if n == 1:
+        os._exit(13)
+    return "recovered"
+
+
 def _ckpt_write(args):
     directory, step = args
     from repro.rl.checkpoint import CheckpointManager
@@ -277,6 +306,57 @@ class TestTaskTimeout:
     def test_validation(self):
         with pytest.raises(ValueError):
             Engine(workers=2, task_timeout_s=0.0)
+
+
+class TestTimeoutRetryInteraction:
+    """Negative paths where ``task_timeout_s`` meets the retry budget.
+
+    When a hung task's deadline expires the whole pool's workers are
+    terminated, so tasks that merely shared the pool die too.  Those
+    innocents are resubmitted with their attempt count rolled back —
+    the kill must neither surface as their failure nor charge their
+    crash-retry budget.  Both tests stage the same timeline: task 0
+    hangs, task 1 delays task 2's submission so task 2's deadline lands
+    *after* task 0's, and task 2 is mid-flight (sleeping forever on its
+    first attempt only) when the pool is killed at task 0's deadline.
+    """
+
+    def _specs(self, fn, arg):
+        return [TaskSpec(task_id=0, fn=_hang, args=(None,)),
+                TaskSpec(task_id=1, fn=_sleep_return, args=(0.3,)),
+                TaskSpec(task_id=2, fn=fn, args=(arg,))]
+
+    def test_innocent_timeout_then_success_on_resubmission(self, tmp_path):
+        sentinel = str(tmp_path / "hang_once")
+        report = Engine(workers=2, queue_depth=2, task_timeout_s=1.5).run(
+            self._specs(_hang_once, sentinel))
+        hung = report.outcomes[0].failure
+        assert hung is not None and hung.error_type == "Timeout"
+        assert report.outcomes[1].ok and report.outcomes[1].value == 0.3
+        innocent = report.outcomes[2]
+        assert innocent.ok and innocent.value == "resubmitted"
+        # The killed first attempt was rolled back: the successful rerun
+        # counts as attempt 1 and no crash-retry was spent on it.
+        assert innocent.attempts == 1
+        assert report.retries == 0
+
+    def test_collateral_kill_preserves_crash_retry_budget(self, tmp_path):
+        # After the collateral kill (attempt rolled back), task 2
+        # genuinely crashes once on resubmission.  With max_retries=1
+        # it may burn exactly one isolated retry — which only exists if
+        # the kill did NOT count as an attempt.
+        mark_dir = tmp_path / "marks"
+        mark_dir.mkdir()
+        report = Engine(workers=2, queue_depth=2, task_timeout_s=1.5,
+                        max_retries=1).run(
+            self._specs(_collateral_then_crash_once, str(mark_dir)))
+        hung = report.outcomes[0].failure
+        assert hung is not None and hung.error_type == "Timeout"
+        survivor = report.outcomes[2]
+        assert survivor.ok and survivor.value == "recovered"
+        assert survivor.attempts == 2      # crash attempt + isolated retry
+        assert report.retries == 1
+        assert len(os.listdir(mark_dir)) == 3
 
 
 # --------------------------------------------------------- checkpoints

@@ -8,6 +8,7 @@ automatically, and all of it is visible in the health snapshot and the
 obs event stream.
 """
 
+import math
 import time
 
 import pytest
@@ -18,7 +19,8 @@ from repro.netsim.fluid import FluidConfig, FluidNetwork
 from repro.resilience.faults import ChaosInjector, FaultPlan
 from repro.rl.checkpoint import CheckpointManager
 from repro.serve.backoff import RetryPolicy
-from repro.serve.gate import GateConfig, GateDecision, PromotionGate
+from repro.serve.gate import (GateConfig, GateDecision, PromotionGate,
+                              WindowSummary)
 from repro.serve.lifecycle import PolicyRegistry
 from repro.serve.plane import ControlPlane, ServeConfig
 from repro.serve.supervisor import Supervisor
@@ -258,6 +260,99 @@ class TestGateDrivenLifecycle:
         assert out["acting"] == "incumbent"        # not the canary
         assert plane.applied_by["canary"] == 0
         plane.close()
+
+
+# --------------------------------------------------------- gate boundaries
+class TestGateWindowBoundary:
+    """Negative-path boundary semantics of the promotion gate: the gate
+    withholds judgment until the canary window holds exactly
+    ``eval_min_ticks`` samples, and every threshold is strict — a
+    canary sitting *exactly* on a limit is not a breach."""
+
+    BASELINE = WindowSummary(ticks=50, queue_mean_bytes=10_000.0,
+                             util_mean=0.8, fct_mean_s=1e-3, fct_count=100)
+
+    def _gate(self, **over):
+        base = dict(eval_min_ticks=5, queue_tolerance=0.25,
+                    queue_slack_bytes=1_000.0, fct_tolerance=0.25,
+                    fct_slack_s=1e-4, util_tolerance=0.10)
+        base.update(over)
+        return PromotionGate(GateConfig(**base))
+
+    def _terrible(self, ticks):
+        return WindowSummary(ticks=ticks, queue_mean_bytes=1e9,
+                             util_mean=0.0, fct_mean_s=10.0, fct_count=ticks)
+
+    def test_no_judgment_one_tick_short_of_eval_min(self):
+        decision = self._gate().evaluate(self.BASELINE, self._terrible(4))
+        assert decision.breach is False
+        assert decision.reasons == []
+
+    def test_judgment_starts_exactly_at_eval_min(self):
+        decision = self._gate().evaluate(self.BASELINE, self._terrible(5))
+        assert decision.breach is True
+        # all three thresholds are torched by the terrible window
+        assert len(decision.reasons) == 3
+
+    def test_queue_exactly_at_limit_is_not_a_breach(self):
+        gate = self._gate()
+        cfg = gate.config
+        limit = (self.BASELINE.queue_mean_bytes * (1.0 + cfg.queue_tolerance)
+                 + cfg.queue_slack_bytes)
+        at = WindowSummary(ticks=5, queue_mean_bytes=limit, util_mean=0.8,
+                           fct_mean_s=1e-3, fct_count=5)
+        assert gate.evaluate(self.BASELINE, at).breach is False
+        over = WindowSummary(ticks=5,
+                             queue_mean_bytes=math.nextafter(limit,
+                                                             math.inf),
+                             util_mean=0.8, fct_mean_s=1e-3, fct_count=5)
+        decision = gate.evaluate(self.BASELINE, over)
+        assert decision.breach is True
+        assert len(decision.reasons) == 1 and "queue" in decision.reasons[0]
+
+    def test_fct_exactly_at_limit_is_not_a_breach(self):
+        gate = self._gate()
+        cfg = gate.config
+        limit = (self.BASELINE.fct_mean_s * (1.0 + cfg.fct_tolerance)
+                 + cfg.fct_slack_s)
+        at = WindowSummary(ticks=5, queue_mean_bytes=10_000.0, util_mean=0.8,
+                           fct_mean_s=limit, fct_count=5)
+        assert gate.evaluate(self.BASELINE, at).breach is False
+        over = WindowSummary(ticks=5, queue_mean_bytes=10_000.0,
+                             util_mean=0.8,
+                             fct_mean_s=math.nextafter(limit, math.inf),
+                             fct_count=5)
+        decision = gate.evaluate(self.BASELINE, over)
+        assert decision.breach is True
+        assert len(decision.reasons) == 1 and "fct" in decision.reasons[0]
+
+    def test_util_exactly_at_floor_is_not_a_breach(self):
+        gate = self._gate()
+        cfg = gate.config
+        floor = self.BASELINE.util_mean * (1.0 - cfg.util_tolerance)
+        at = WindowSummary(ticks=5, queue_mean_bytes=10_000.0,
+                           util_mean=floor, fct_mean_s=1e-3, fct_count=5)
+        assert gate.evaluate(self.BASELINE, at).breach is False
+        under = WindowSummary(ticks=5, queue_mean_bytes=10_000.0,
+                              util_mean=math.nextafter(floor, -math.inf),
+                              fct_mean_s=1e-3, fct_count=5)
+        decision = gate.evaluate(self.BASELINE, under)
+        assert decision.breach is True
+        assert (len(decision.reasons) == 1
+                and "utilization" in decision.reasons[0])
+
+    def test_fct_skipped_when_no_flows_finished(self):
+        # fct_mean_s None on either side disables only the FCT check.
+        gate = self._gate()
+        canary = WindowSummary(ticks=5, queue_mean_bytes=10_000.0,
+                               util_mean=0.8, fct_mean_s=None, fct_count=0)
+        assert gate.evaluate(self.BASELINE, canary).breach is False
+        no_fct_baseline = WindowSummary(ticks=50, queue_mean_bytes=10_000.0,
+                                        util_mean=0.8, fct_mean_s=None,
+                                        fct_count=0)
+        slow = WindowSummary(ticks=5, queue_mean_bytes=10_000.0,
+                             util_mean=0.8, fct_mean_s=10.0, fct_count=5)
+        assert gate.evaluate(no_fct_baseline, slow).breach is False
 
 
 # --------------------------------------------------------- telemetry retry

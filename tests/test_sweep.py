@@ -64,3 +64,55 @@ class TestTableRows:
         assert math.isnan(by_scheme["pet"][1])     # missing cell -> NaN
         # renders without error
         assert "scheme" in format_table(headers, rows)
+
+
+class TestSimBatchSweep:
+    """run_sweep(sim_batch=True) — one tensor program per grid, cell
+    values bit-identical to the serial per-process path."""
+
+    @staticmethod
+    def _canon(cells):
+        from repro.parallel.perfbench import _fingerprint
+        return _fingerprint([(c.scheme, c.load, c.workload, c.metrics)
+                             for c in cells])
+
+    def test_matches_serial_bitwise(self):
+        from repro.analysis.experiments import clear_pretrain_cache
+        spec = SweepSpec(schemes=("pet", "secn1"), loads=(0.4, 0.7),
+                         workloads=("websearch",))
+        base = ScenarioConfig(duration=0.02, pretrain_intervals=20, seed=5,
+                              fluid=tiny_base().fluid, incast=False)
+        clear_pretrain_cache()
+        ref = run_sweep(spec, base, workers=1)
+        clear_pretrain_cache()
+        bat = run_sweep(spec, base, sim_batch=True)
+        assert self._canon(ref) == self._canon(bat)
+
+    def test_rejects_packet_substrate(self):
+        from repro.netsim.batchfluid import BatchCompatError
+        spec = SweepSpec(schemes=("secn1",), loads=(0.4,))
+        base = ScenarioConfig(duration=0.005, pretrain_intervals=0,
+                              simulator="packet", incast=False)
+        with pytest.raises(BatchCompatError, match="fluid"):
+            run_sweep(spec, base, sim_batch=True)
+
+    def test_rejects_engine_combination(self):
+        from repro.parallel.engine import Engine
+        spec = SweepSpec(schemes=("secn1",), loads=(0.4,))
+        with pytest.raises(ValueError, match="sim_batch"):
+            run_sweep(spec, tiny_base(), sim_batch=True,
+                      engine=Engine(workers=1))
+
+    def test_grid_helper_sim_batch(self):
+        from repro.analysis.experiments import (clear_pretrain_cache,
+                                                run_scenario,
+                                                run_scenario_grid)
+        from repro.parallel.perfbench import _fingerprint
+        base = tiny_base()
+        jobs = [("secn1", base), ("secn2", base)]
+        clear_pretrain_cache()
+        ref = [run_scenario(s, c) for s, c in jobs]
+        clear_pretrain_cache()
+        bat = run_scenario_grid(jobs, sim_batch=True)
+        assert [_fingerprint(r.summary_row()) for r in ref] == \
+            [_fingerprint(r.summary_row()) for r in bat]

@@ -67,3 +67,55 @@ def test_fast_profile_overrides_and_defaults():
     assert cfg.clip_eps == 0.2
     # explicit overrides win
     assert PETConfig.fast(actor_lr=1e-4).actor_lr == pytest.approx(1e-4)
+
+
+# ----------------------------------------------------- sim-as-batch backend
+class TestPretrainMultiSeedSimBatch:
+    """pretrain_multi_seed(sim_batch=True) — the BatchFluidNetwork
+    replica backend must be bit-identical to the per-process path."""
+
+    @staticmethod
+    def _canon(results):
+        from repro.parallel.perfbench import _fingerprint
+        return _fingerprint([
+            (r.seed, r.state,
+             [(ep.intervals, ep.mean_reward, ep.rewards_per_switch,
+               ep.reward_trace) for ep in r.episodes])
+            for r in results])
+
+    def test_bit_identical_to_engine_path(self):
+        from repro.core.training import pretrain_multi_seed
+        cfg = PETConfig(seed=None, update_interval=5, delta_t=1e-3)
+        kw = dict(seeds=[3, 14, 15], episodes=2, intervals_per_episode=6)
+        ref = pretrain_multi_seed(make_net, cfg, **kw)
+        bat = pretrain_multi_seed(make_net, cfg, **kw, sim_batch=True)
+        assert self._canon(ref) == self._canon(bat)
+
+    def test_checkpoints_written_per_seed(self, tmp_path):
+        from repro.core.training import pretrain_multi_seed
+        cfg = PETConfig(seed=None, update_interval=5, delta_t=1e-3)
+        pretrain_multi_seed(make_net, cfg, seeds=[1, 2], episodes=1,
+                            intervals_per_episode=4, sim_batch=True,
+                            checkpoint_dir=str(tmp_path), checkpoint_every=2)
+        dirs = sorted(p.name for p in tmp_path.iterdir())
+        assert dirs == ["seed-00000001", "seed-00000002"]
+        assert all(any(p.iterdir()) for p in tmp_path.iterdir())
+
+    def test_rejects_engine_combination(self):
+        from repro.core.training import pretrain_multi_seed
+        from repro.parallel.engine import Engine
+        with pytest.raises(ValueError, match="sim_batch"):
+            pretrain_multi_seed(make_net, None, seeds=[1, 2],
+                                sim_batch=True, engine=Engine(workers=1))
+
+    def test_rejects_non_fluid_networks(self):
+        from repro.core.training import pretrain_multi_seed
+        from repro.netsim.batchfluid import BatchCompatError
+
+        class NotFluid:
+            def switch_names(self):
+                return ["leaf0"]
+
+        with pytest.raises(BatchCompatError, match="fluid"):
+            pretrain_multi_seed(lambda s: NotFluid(), None, seeds=[1, 2],
+                                intervals_per_episode=2, sim_batch=True)
