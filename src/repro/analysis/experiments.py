@@ -8,9 +8,11 @@ overhead meters).
 
 The default substrate is the fluid model (DESIGN.md §2) on a
 64-host fabric; pass ``simulator="packet"`` for packet-level runs
-(slower, smaller horizons).  Learning schemes are offline pre-trained on
-an identically-distributed training run before the measured run, exactly
-the paper's hybrid offline+online regime (§4.4).
+(slower, smaller horizons) or ``simulator="fluid_shard"`` for the
+spatially-sharded multi-pod fat-tree (docs/TOPOLOGIES.md).  Learning
+schemes are offline pre-trained on an identically-distributed training
+run before the measured run, exactly the paper's hybrid offline+online
+regime (§4.4).
 """
 
 from __future__ import annotations
@@ -30,8 +32,10 @@ from repro.core.config import PETConfig
 from repro.core.pet import PETController
 from repro.core.training import (pretrain_offline_multi,
                                  run_control_loop)
+from repro.netsim.fattree import FatTreeConfig
 from repro.netsim.fluid import FluidConfig, FluidNetwork
 from repro.netsim.network import PacketNetwork
+from repro.netsim.shard import ShardedFluidNetwork
 from repro.netsim.topology import TopologyConfig
 from repro.obs.trace import get_tracer
 from repro.traffic.generator import PoissonTrafficGenerator, TrafficConfig
@@ -52,7 +56,7 @@ class ScenarioConfig:
     workload: str = "websearch"
     load: float = 0.6
     duration: float = 0.25
-    simulator: str = "fluid"            # "fluid" | "packet"
+    simulator: str = "fluid"            # "fluid" | "packet" | "fluid_shard"
     delta_t: float = 1e-3
     seed: int = 0
     # incast overlay (the paper's many-to-one extension)
@@ -69,16 +73,31 @@ class ScenarioConfig:
         host_rate_bps=10e9, spine_rate_bps=40e9))
     # packet fabric
     packet: TopologyConfig = field(default_factory=TopologyConfig)
+    # sharded fat-tree fabric (docs/TOPOLOGIES.md)
+    fattree: FatTreeConfig = field(default_factory=FatTreeConfig)
+    shards: int = 1
 
     def __post_init__(self) -> None:
-        if self.simulator not in ("fluid", "packet"):
-            raise ValueError("simulator must be 'fluid' or 'packet'")
+        if self.simulator not in ("fluid", "packet", "fluid_shard"):
+            raise ValueError(
+                "simulator must be 'fluid', 'packet' or 'fluid_shard'")
         workload_by_name(self.workload)     # validate
 
     @property
     def host_rate_bps(self) -> float:
-        return (self.fluid.host_rate_bps if self.simulator == "fluid"
-                else self.packet.host_rate_bps)
+        if self.simulator == "packet":
+            return self.packet.host_rate_bps
+        if self.simulator == "fluid_shard":
+            return self.fattree.host_rate_bps
+        return self.fluid.host_rate_bps
+
+    @property
+    def base_rtt(self) -> float:
+        if self.simulator == "packet":
+            return self.packet.base_rtt()
+        if self.simulator == "fluid_shard":
+            return self.fattree.base_rtt
+        return self.fluid.base_rtt
 
 
 @dataclass
@@ -114,6 +133,8 @@ class ExperimentResult:
 def _make_network(cfg: ScenarioConfig, seed: int):
     if cfg.simulator == "fluid":
         return FluidNetwork(cfg.fluid, seed=seed)
+    if cfg.simulator == "fluid_shard":
+        return ShardedFluidNetwork(cfg.fattree, shards=cfg.shards, seed=seed)
     return PacketNetwork(cfg.packet, seed=seed)
 
 
@@ -184,10 +205,16 @@ _PRETRAIN_CACHE: Dict[tuple, object] = {}
 
 
 def _pretrain_key(scheme: str, cfg: ScenarioConfig, pet_cfg: PETConfig) -> tuple:
-    fabric = (cfg.fluid.n_spine, cfg.fluid.n_leaf, cfg.fluid.hosts_per_leaf,
-              cfg.fluid.host_rate_bps) if cfg.simulator == "fluid" else \
-             (cfg.packet.n_spine, cfg.packet.n_leaf, cfg.packet.hosts_per_leaf,
-              cfg.packet.host_rate_bps)
+    if cfg.simulator == "fluid":
+        fabric = (cfg.fluid.n_spine, cfg.fluid.n_leaf,
+                  cfg.fluid.hosts_per_leaf, cfg.fluid.host_rate_bps)
+    elif cfg.simulator == "fluid_shard":
+        fabric = (cfg.fattree.n_pods, cfg.fattree.edge_per_pod,
+                  cfg.fattree.agg_per_pod, cfg.fattree.core_per_agg,
+                  cfg.fattree.hosts_per_edge, cfg.fattree.host_rate_bps)
+    else:
+        fabric = (cfg.packet.n_spine, cfg.packet.n_leaf,
+                  cfg.packet.hosts_per_leaf, cfg.packet.host_rate_bps)
     return (scheme, cfg.simulator, fabric, cfg.workload, round(cfg.load, 3),
             cfg.pretrain_intervals, cfg.seed, pet_cfg.beta1,
             pet_cfg.use_incast, pet_cfg.use_flow_ratio, pet_cfg.action_mode,
@@ -319,9 +346,7 @@ def _setup_scenario(scheme: str, cfg: Optional[ScenarioConfig] = None, *,
 def _finalize_scenario(prep: _PreparedScenario) -> ExperimentResult:
     """Collect the paper metrics after the measured run + drain."""
     cfg, net = prep.cfg, prep.net
-    base_rtt = (cfg.fluid.base_rtt if cfg.simulator == "fluid"
-                else cfg.packet.base_rtt())
-    fct = fct_statistics(net.finished_flows, cfg.host_rate_bps, base_rtt)
+    fct = fct_statistics(net.finished_flows, cfg.host_rate_bps, cfg.base_rtt)
     queue = queue_length_statistics(prep.queue_samples)
     lat = latency_statistics(net.latencies)
     extra: Dict[str, float] = {}

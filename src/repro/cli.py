@@ -10,6 +10,11 @@ Quick smoke run::
 
     python -m repro --scheme secn1 --duration 0.02 --pretrain 0
 
+Sharded multi-pod fat-tree substrate (docs/TOPOLOGIES.md)::
+
+    python -m repro --scheme secn1 --topology fattree --pods 4 --shards 4 \
+        --duration 0.02 --pretrain 0
+
 Chaos/robustness benchmark (fault injection + resilience guard)::
 
     python -m repro chaos --quick --seed 0
@@ -76,9 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-incast", action="store_true",
                    help="disable the many-to-one incast overlay")
+    p.add_argument("--topology", default="leafspine",
+                   choices=["leafspine", "fattree"],
+                   help="fabric shape: single-pod leaf-spine (fluid "
+                        "model) or multi-pod fat-tree (spatially "
+                        "sharded; docs/TOPOLOGIES.md)")
     p.add_argument("--hosts-per-leaf", type=int, default=8)
     p.add_argument("--leaves", type=int, default=4)
     p.add_argument("--spines", type=int, default=2)
+    p.add_argument("--pods", type=int, default=4,
+                   help="fat-tree pod count (--topology fattree)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="spatial shard count for the fat-tree "
+                        "simulator (bit-identical for any value)")
     p.add_argument("--sanitize", action="store_true",
                    help="enable the runtime invariant sanitizer "
                         "(repro.devtools.sanitize) for this run")
@@ -127,14 +142,25 @@ def _dispatch(argv: List[str]) -> int:
     args = build_parser().parse_args(argv)
     if args.sanitize or sanitize.enabled_from_env():
         sanitize.enable()
-    fabric = FluidConfig(n_spine=args.spines, n_leaf=args.leaves,
-                         hosts_per_leaf=args.hosts_per_leaf,
-                         host_rate_bps=10e9, spine_rate_bps=40e9)
-    cfg = ScenarioConfig(workload=args.workload, load=args.load,
-                         duration=args.duration,
-                         pretrain_intervals=args.pretrain,
-                         incast=not args.no_incast, seed=args.seed,
-                         fluid=fabric)
+    common = dict(workload=args.workload, load=args.load,
+                  duration=args.duration,
+                  pretrain_intervals=args.pretrain,
+                  incast=not args.no_incast, seed=args.seed)
+    if args.topology == "fattree":
+        from repro.netsim.fattree import FatTreeConfig
+        fabric = FatTreeConfig(n_pods=args.pods,
+                               hosts_per_edge=args.hosts_per_leaf,
+                               host_rate_bps=10e9, agg_rate_bps=40e9,
+                               core_rate_bps=40e9)
+        cfg = ScenarioConfig(simulator="fluid_shard", fattree=fabric,
+                             shards=args.shards, **common)
+    else:
+        if args.shards != 1:
+            raise ValueError("--shards applies to --topology fattree only")
+        fabric = FluidConfig(n_spine=args.spines, n_leaf=args.leaves,
+                             hosts_per_leaf=args.hosts_per_leaf,
+                             host_rate_bps=10e9, spine_rate_bps=40e9)
+        cfg = ScenarioConfig(fluid=fabric, **common)
     rows = {}
     if args.workers > 1 and len(args.scheme) > 1:
         from repro.analysis.experiments import run_scenario_grid

@@ -73,7 +73,9 @@ def run_control_loop(network, controller, *, intervals: int, delta_t: float,
     ----------
     network:
         Anything with ``advance(dt)``, ``queue_stats()``, ``set_ecn`` and
-        ``now`` — both simulators qualify.
+        ``now`` — the packet, fluid and sharded fat-tree simulators all
+        qualify, so one loop drives every substrate (and every fabric
+        scale) unchanged.
     controller:
         Anything implementing :class:`repro.core.controller.Controller`.
     on_interval:

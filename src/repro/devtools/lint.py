@@ -26,6 +26,10 @@ PET005    ``Simulator.schedule(delay, ...)`` call sites whose delay
           expression is not provably non-negative (contains a bare
           subtraction or unary minus outside ``max()``/``abs()``).
 PET006    mutable default arguments (anywhere).
+PET007    builtin ``hash()`` inside determinism-critical packages —
+          its value is implementation-defined (and salted per process
+          for str/bytes), so sim-state decisions keyed on it are
+          unpinnable; use :mod:`repro.netsim.routing` instead.
 ========  ==============================================================
 
 Escape hatch: append ``# pet: noqa`` (suppress all rules) or
@@ -59,6 +63,7 @@ RULES: Dict[str, str] = {
     "PET004": "mixes identifiers with different unit suffixes",
     "PET005": "schedule() delay is not provably non-negative",
     "PET006": "mutable default argument",
+    "PET007": "builtin hash() in simulation code (use an explicit mix)",
 }
 
 #: Packages where wall-clock time and unseeded randomness are forbidden.
@@ -194,8 +199,18 @@ class _Checker(ast.NodeVisitor):
             if self.determinism_scope:
                 self._check_wall_clock(node, dotted)
                 self._check_randomness(node, dotted)
+                self._check_builtin_hash(node, dotted)
             self._check_schedule(node, dotted)
         self.generic_visit(node)
+
+    def _check_builtin_hash(self, node: ast.Call, dotted: str) -> None:
+        # Only the bare builtin: `obj.hash(...)` or an imported
+        # `hashlib`-style name resolves to a dotted path and is fine.
+        if dotted == "hash" and isinstance(node.func, ast.Name):
+            self._flag("PET007", node,
+                       "builtin `hash()` is implementation-defined across "
+                       "interpreters — sim-state decisions must use an "
+                       "explicit mix (repro.netsim.routing.splitmix64)")
 
     def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
         for forbidden in _WALL_CLOCK_CALLS:
@@ -418,7 +433,7 @@ def lint_paths(paths: Iterable[str],
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="PET invariant linter (rules PET001..PET006)")
+        description="PET invariant linter (rules PET001..PET007)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--select", default=None,

@@ -311,13 +311,16 @@ class SimSanitizer:
 
         self._patch(_network.PacketNetwork, "set_ecn", net_set_ecn)
 
-        orig_fluid_set_ecn = _fluid.FluidNetwork.set_ecn
+        # Patch the mixin, not FluidNetwork: set_ecn is defined on
+        # SwitchStatsMixin, so every fluid-family network (monolithic
+        # leaf–spine and the sharded fat-tree) gets the bounds check.
+        orig_fluid_set_ecn = _fluid.SwitchStatsMixin.set_ecn
 
         def fluid_set_ecn(net, switch_name, config):
             san.check_ecn_config(config, now=net.now, component=switch_name)
             return orig_fluid_set_ecn(net, switch_name, config)
 
-        self._patch(_fluid.FluidNetwork, "set_ecn", fluid_set_ecn)
+        self._patch(_fluid.SwitchStatsMixin, "set_ecn", fluid_set_ecn)
 
         self.installed = True
         return self

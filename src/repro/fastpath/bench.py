@@ -268,6 +268,62 @@ def _build_sim_batch(fastpath: bool, quick: bool
     return run, f"replicas={R} intervals={intervals}"
 
 
+def _build_sim_shard(fastpath: bool, quick: bool
+                     ) -> Tuple[Callable[[], Any], str]:
+    """Spatial sharding: a multi-pod fat-tree, monolithic vs 4 shards.
+
+    The two legs repurpose the fastpath switch: ``fastpath=False`` steps
+    the whole fabric as one subdomain group (``shards=1``);
+    ``fastpath=True`` splits it into 4 shard groups stepped per Δt with
+    boundary arrivals exchanged through the global flow phase.  The
+    fingerprinted interval stats and final queue state must be
+    bit-identical across legs (the sharding contract;
+    ``tests/test_shard.py``).  Full mode uses the 80-switch
+    production-scale fabric — the capacity headline — quick mode the
+    10-switch small one.
+    """
+    from repro.netsim.ecn import ECNConfig
+    from repro.netsim.fattree import FatTreeConfig
+    from repro.netsim.flow import Flow
+    from repro.netsim.shard import ShardedFluidNetwork
+    from repro.obs.trace import get_tracer
+
+    if quick:
+        # same 4-pod shape as full mode (so the quick speedup tracks the
+        # committed full-mode baseline), just a narrower fabric
+        cfg = FatTreeConfig(n_pods=4, edge_per_pod=2, agg_per_pod=2,
+                            core_per_agg=1, hosts_per_edge=4)
+        n_flows, intervals = 120, 30
+    else:
+        cfg = FatTreeConfig.production_scale()
+        n_flows, intervals = 400, 60
+    shards = 4 if fastpath else 1
+    net = ShardedFluidNetwork(cfg, shards=shards, seed=0)
+    net.set_ecn_all(ECNConfig(kmin_bytes=20_000, kmax_bytes=80_000,
+                              pmax=0.2))
+    rng = np.random.default_rng(11)
+    flows = []
+    for i in range(n_flows):
+        src, dst = rng.choice(cfg.n_hosts, size=2, replace=False)
+        flows.append(Flow(i, f"h{src}", f"h{dst}",
+                          int(rng.integers(100_000, 4_000_000)),
+                          start_time=float(rng.uniform(0, 5e-3))))
+    net.start_flows(flows)
+
+    def run():
+        tr = get_tracer()
+        stats = []
+        for i in range(intervals):
+            with tr.span("net.advance", interval=i):
+                net.advance(1e-3)
+            with tr.span("net.queue_stats", interval=i):
+                stats.append(net.queue_stats())
+        return {"stats": stats, "q_len": net.q_len.copy(),
+                "memory": net.memory_report()}
+
+    return run, f"switches={cfg.n_switches} shards={shards}"
+
+
 HOTPATH_WORKLOADS: Dict[str, Callable[[bool, bool],
                                       Tuple[Callable[[], Any], str]]] = {
     "tick_loop": _build_tick_loop,
@@ -275,6 +331,7 @@ HOTPATH_WORKLOADS: Dict[str, Callable[[bool, bool],
     "packet_sim": _build_packet_sim,
     "fluid_sim": _build_fluid_sim,
     "sim_batch": _build_sim_batch,
+    "sim_shard": _build_sim_shard,
 }
 
 

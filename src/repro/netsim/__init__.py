@@ -10,6 +10,10 @@ Packet-level components
 - :mod:`repro.netsim.link` / :mod:`repro.netsim.switch` /
   :mod:`repro.netsim.host` — devices.
 - :mod:`repro.netsim.topology` — leaf–spine fabric with ECMP routing.
+- :mod:`repro.netsim.fattree` — multi-pod fat-tree fabric (same packet
+  surface; docs/TOPOLOGIES.md).
+- :mod:`repro.netsim.routing` — the shared splitmix64 flow→path mix
+  every ECMP router uses (lint rule PET007 bans builtin ``hash()``).
 - :mod:`repro.netsim.transport` — DCQCN (default, RDMA-style), DCTCP and
   HPCC rate control.
 - :mod:`repro.netsim.network` — assembled packet-level network facade
@@ -23,6 +27,10 @@ same per-switch statistics interface; it is orders of magnitude faster
 and is what the RL training sweeps in the benchmark harness run on.
 :mod:`repro.netsim.batchfluid` steps R independent fluid replicas as one
 ``(R, n, H)`` tensor program, bit-identical per replica to solo runs.
+:mod:`repro.netsim.shard` steps a multi-pod fat-tree as per-pod
+subdomains exchanging boundary flows each Δt — ``shards=N`` is
+bit-identical to ``shards=1``, in-process or across
+:class:`repro.parallel.Engine` workers.
 """
 
 from repro.netsim.engine import Simulator, Event
@@ -31,9 +39,11 @@ from repro.netsim.flow import Flow, MICE_ELEPHANT_THRESHOLD
 from repro.netsim.ecn import ECNMarker, ECNConfig
 from repro.netsim.queueing import ByteQueue
 from repro.netsim.topology import LeafSpineTopology, TopologyConfig
+from repro.netsim.fattree import FatTreeConfig, FatTreeTopology
 from repro.netsim.network import PacketNetwork, QueueStats
 from repro.netsim.fluid import FluidNetwork, FluidConfig
 from repro.netsim.batchfluid import BatchFluidNetwork, BatchCompatError
+from repro.netsim.shard import ShardedFluidNetwork
 from repro.netsim.failures import LinkFailureInjector
 from repro.netsim.pfc import PFCController, enable_pfc
 
@@ -41,8 +51,9 @@ __all__ = [
     "Simulator", "Event", "Packet", "Flow", "MICE_ELEPHANT_THRESHOLD",
     "ECNMarker", "ECNConfig", "ByteQueue",
     "LeafSpineTopology", "TopologyConfig",
+    "FatTreeConfig", "FatTreeTopology",
     "PacketNetwork", "QueueStats",
     "FluidNetwork", "FluidConfig", "LinkFailureInjector",
-    "BatchFluidNetwork", "BatchCompatError",
+    "BatchFluidNetwork", "BatchCompatError", "ShardedFluidNetwork",
     "PFCController", "enable_pfc",
 ]

@@ -33,9 +33,11 @@ from repro.netsim.ecn import SECN1 as _DEFAULT_ECN
 from repro.netsim.flow import Flow
 from repro.netsim.network import QueueStats
 from repro.netsim.queueing import FlowObservation
+from repro.netsim.routing import ecmp_hash
 from repro.obs.metrics import get_registry
 
-__all__ = ["FluidConfig", "FluidNetwork"]
+__all__ = ["FluidConfig", "FluidNetwork", "FlowTableMixin",
+           "SwitchStatsMixin", "integrate_queue_block"]
 
 
 @dataclass
@@ -47,7 +49,17 @@ class FluidConfig:
     hosts_per_leaf: int = 24
     host_rate_bps: float = 25e9
     spine_rate_bps: float = 100e9
-    base_rtt: float = 16e-6
+    #: per-hop propagation delays; the empty-network RTT is derived from
+    #: them (2 host hops + 2 fabric hops each way across the spine),
+    #: mirroring :meth:`repro.netsim.topology.TopologyConfig.base_rtt`.
+    host_link_delay: float = 2e-6
+    fabric_link_delay: float = 2e-6
+    #: empty-network host↔host RTT.  ``None`` (the default) derives it
+    #: from the link delays; passing a value that disagrees with the
+    #: topology shape raises — the DCTCP-style rate updates and the
+    #: Fig. 8 latency floor both key off it, so a stale hardcoded RTT
+    #: silently skews every downstream figure.
+    base_rtt: Optional[float] = None
     step_dt: float = 50e-6
     default_ecn: ECNConfig = field(default_factory=lambda: _DEFAULT_ECN)
     # DCQCN-like fluid constants
@@ -70,6 +82,26 @@ class FluidConfig:
             raise ValueError("step_dt must be positive")
         if self.initial_flow_capacity < 1:
             raise ValueError("initial_flow_capacity must be >= 1")
+        if min(self.host_link_delay, self.fabric_link_delay) <= 0:
+            raise ValueError("link delays must be positive")
+        derived = self.derived_base_rtt()
+        if self.base_rtt is None:
+            self.base_rtt = derived
+        elif abs(self.base_rtt - derived) > 1e-12:
+            raise ValueError(
+                f"base_rtt={self.base_rtt!r} is inconsistent with the "
+                f"topology's link delays (derived {derived!r}); drop the "
+                "explicit base_rtt or adjust host/fabric_link_delay")
+
+    def derived_base_rtt(self) -> float:
+        """Empty-network host↔host RTT across the spine (propagation only).
+
+        One way crosses two host links (src NIC, dst downlink) and two
+        fabric links (leaf→spine, spine→leaf) — the same formula as
+        :meth:`repro.netsim.topology.TopologyConfig.base_rtt`.
+        """
+        one_way = 2 * self.host_link_delay + 2 * self.fabric_link_delay
+        return 2 * one_way
 
     @property
     def n_hosts(self) -> int:
@@ -82,7 +114,321 @@ class FluidConfig:
                    host_rate_bps=10e9, spine_rate_bps=40e9)
 
 
-class FluidNetwork:
+def integrate_queue_block(q_len: np.ndarray, q_cap: np.ndarray,
+                          kmin: np.ndarray, kmax: np.ndarray,
+                          pmax: np.ndarray, arrival: np.ndarray,
+                          dt: float, buffer_bytes: float) -> Tuple[
+                              np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray, np.ndarray]:
+    """One Δt of queue integration + RED marking for a block of queues.
+
+    Returns ``(served_rate, new_qlen, drops, p_mark, srv_ratio)``.  This
+    is the spatially-decomposable core of the fluid step: every
+    operation is elementwise per queue, so evaluating it on a slice of
+    the global arrays produces bit-identically the elements the whole-
+    array call would — which is what lets :mod:`repro.netsim.shard` run
+    disjoint subdomain blocks in any grouping (or other processes) and
+    merge the results back without changing a single bit.  The op order
+    is the reference :meth:`FluidNetwork._step` order; keep them in
+    lockstep.
+    """
+    served_rate = np.minimum(arrival + q_len / dt, q_cap)
+    new_qlen = np.clip(q_len + (arrival - q_cap) * dt, 0.0, None)
+    overflow = new_qlen - buffer_bytes
+    drops = np.clip(overflow, 0.0, None)
+    new_qlen = np.minimum(new_qlen, buffer_bytes)
+    # RED mark probability on instantaneous occupancy
+    span = np.maximum(kmax - kmin, 1.0)
+    p_mark = np.clip((new_qlen - kmin) / span, 0.0, 1.0) * pmax
+    p_mark = np.where(new_qlen >= kmax, 1.0, p_mark)
+    srv_ratio = q_cap / np.maximum(arrival, q_cap)   # <=1 where overloaded
+    return served_rate, new_qlen, drops, p_mark, srv_ratio
+
+
+class FlowTableMixin:
+    """Grow-on-demand flow table shared by every fluid-model network.
+
+    Hosts provide the ``f_*`` arrays, ``config`` (``n_hosts``,
+    ``host_rate_bps``, ``start_rate_fraction``), ``now`` and a
+    ``_route(idx)`` that fills ``f_path[idx]``; the mixin owns slot
+    allocation, pending-flow activation and reallocation.  Attribute
+    names are a stable contract — :class:`~repro.netsim.batchfluid.
+    BatchFluidNetwork` re-points them at batch storage row views.
+    """
+
+    #: extra per-flow int64 arrays (grown filled with -1) beyond the
+    #: base table — the leaf–spine network records the chosen spine,
+    #: the sharded fat-tree the chosen core.
+    _FLOW_CHOICE_1D: Tuple[str, ...] = ("f_spine",)
+
+    def _grow(self) -> None:
+        if self._batch is not None:
+            # A batched replica's flow arrays are row views into the
+            # batch's (R, cap) storage: growing them locally would break
+            # that aliasing (this replica would silently detach while
+            # the batch kernel keeps stepping the stale storage).  The
+            # batch grows all replicas together and re-points the views.
+            self._batch._grow_flows()
+            return
+        new_cap = self._cap_flows * 2
+        for name in ("f_src", "f_dst", "f_size", "f_remaining", "f_rate",
+                     "f_alpha", "f_active") + self._FLOW_CHOICE_1D:
+            arr = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=arr.dtype)
+            grown[:self._cap_flows] = arr
+            if name in self._FLOW_CHOICE_1D:
+                grown[self._cap_flows:] = -1
+            setattr(self, name, grown)
+        grown_path = np.full((new_cap, self._MAX_HOPS), -1, dtype=np.int64)
+        grown_path[:self._cap_flows] = self.f_path
+        self.f_path = grown_path
+        self._cap_flows = new_cap
+
+    def start_flow(self, flow: Flow) -> None:
+        """Register a flow; it activates when ``now`` reaches its start."""
+        if flow.flow_id in self.flow_objs:
+            raise ValueError(f"duplicate flow id {flow.flow_id}")
+        try:
+            known = 0 <= self._host_index(flow.src) < self.config.n_hosts
+        except KeyError:
+            known = False
+        if not known:
+            raise ValueError(f"unknown host {flow.src}")
+        self.flow_objs[flow.flow_id] = flow
+        self._pending.append(flow)
+        self._pending_sorted = False
+
+    def start_flows(self, flows: List[Flow]) -> None:
+        for f in flows:
+            self.start_flow(f)
+
+    @staticmethod
+    def _host_index(name) -> int:
+        if isinstance(name, str):
+            try:
+                return int(name[1:])
+            except ValueError:
+                raise KeyError(f"unknown host {name!r}") from None
+        return int(name)
+
+    def _activate_due(self) -> None:
+        if not self._pending:
+            return
+        if not self._pending_sorted:
+            self._pending.sort(key=lambda f: f.start_time)
+            self._pending_sorted = True
+        # Walk an index over the sorted prefix and delete it in one slice
+        # afterwards — the former pop(0)-per-flow loop was O(k·P) in the
+        # pending backlog P every step.
+        pend = self._pending
+        consumed = 0
+        while consumed < len(pend) and pend[consumed].start_time <= self.now:
+            flow = pend[consumed]
+            consumed += 1
+            if self._n_flows >= self._cap_flows:
+                self._grow()
+            idx = self._free_slot()
+            fid = flow.flow_id
+            self._fid_to_idx[fid] = idx
+            self._idx_to_fid[idx] = fid
+            self.f_src[idx] = self._host_index(flow.src)
+            self.f_dst[idx] = self._host_index(flow.dst)
+            self.f_size[idx] = flow.size_bytes
+            self.f_remaining[idx] = flow.size_bytes
+            self.f_rate[idx] = (self.config.start_rate_fraction
+                                * self.config.host_rate_bps / 8.0)
+            self.f_alpha[idx] = 1.0
+            self.f_active[idx] = True
+            self._route(idx)
+        if consumed:
+            del pend[:consumed]
+
+    def _free_slot(self) -> int:
+        # O(1): recycle a finished flow's slot, else extend the
+        # high-water mark (keeping per-step vector ops proportional to
+        # the concurrent — not cumulative — flow count).
+        if self._free_list:
+            return self._free_list.pop()
+        if self._n_flows >= self._cap_flows:
+            self._grow()
+        idx = self._n_flows
+        self._n_flows += 1
+        return idx
+
+    # ------------------------------------------------------------ convenience
+    def active_flow_count(self) -> int:
+        return int(self.f_active[:self._n_flows].sum()) + len(self._pending)
+
+    def total_drops(self) -> int:
+        return int(self._acc_drops.sum())
+
+    @property
+    def flows(self) -> Dict[int, Flow]:
+        return self.flow_objs
+
+
+class SwitchStatsMixin:
+    """Per-switch statistics + ECN control over a flat queue array.
+
+    Generic over topology: hosts provide ``q_switch`` (queue → switch
+    id), ``switch_names()``, ``_switch_id(name)``, the ``_acc_*``
+    interval accumulators, the RED arrays and the flow table.  Both the
+    monolithic leaf–spine network and the sharded fat-tree expose the
+    exact :class:`~repro.netsim.network.PacketNetwork` stats interface
+    through this mixin, so PET/ACC controllers run unmodified on any of
+    the three simulators.
+    """
+
+    def _switch_index_cache(self) -> List[np.ndarray]:
+        """Per-switch queue-index arrays (``q_switch`` is static)."""
+        if self._sw_q_idx is None:
+            self._sw_q_idx = [np.flatnonzero(self.q_switch == s)
+                              for s in range(self.n_switches)]
+        return self._sw_q_idx
+
+    def queue_stats(self) -> Dict[str, QueueStats]:
+        """Per-switch interval statistics; resets the interval."""
+        get_registry().inc("netsim.stats_collections", sim="fluid")
+        interval = max(self._acc_time, 1e-12)
+        if self._names_cache is None:
+            self._names_cache = self.switch_names()
+        names = self._names_cache
+        out: Dict[str, QueueStats] = {}
+        flow_obs_by_switch = self._flow_observations()
+        sw_idx = self._switch_index_cache() if self.fastpath else None
+        for s, name in enumerate(names):
+            # Gathering by precomputed index array extracts exactly the
+            # same elements in the same order as the boolean mask, so
+            # the pairwise sums are bit-identical.
+            if sw_idx is not None:
+                mask: np.ndarray = sw_idx[s]
+                nq = len(mask)
+            else:
+                mask = self.q_switch == s
+                nq = int(mask.sum())
+            tx = float(self._acc_tx[mask].sum())
+            marked = float(self._acc_marked[mask].sum())
+            avg_q = float(self._acc_qlen_area[mask].sum()) / interval
+            drops = float(self._acc_drops[mask].sum())
+            out[name] = QueueStats(
+                switch=name, interval=interval,
+                qlen_bytes=float(self.q_len[mask].sum()),
+                max_port_qlen_bytes=float(self.q_len[mask].max(initial=0.0)),
+                avg_qlen_bytes=avg_q,
+                tx_bytes=int(tx), tx_marked_bytes=int(marked),
+                dropped_pkts=int(drops // 1000) if drops else 0,
+                capacity_bps=float(self.q_cap[mask].sum() * 8.0),
+                ecn=self._ecn_by_switch[s], n_queues=nq,
+                flow_obs=flow_obs_by_switch.get(s, {}))
+        self._acc_tx[:] = 0.0
+        self._acc_marked[:] = 0.0
+        self._acc_qlen_area[:] = 0.0
+        self._acc_drops[:] = 0.0
+        self._acc_time = 0.0
+        return out
+
+    def _flow_observations(self) -> Dict[int, Dict[int, FlowObservation]]:
+        """Active-flow observations grouped by every switch on their path."""
+        if self.fastpath:
+            return self._flow_observations_fast()
+        out: Dict[int, Dict[int, FlowObservation]] = {}
+        n = self._n_flows
+        for i in np.flatnonzero(self.f_active[:n]):
+            fid = self._idx_to_fid[int(i)]
+            flow = self.flow_objs[fid]
+            seen = float(self.f_size[i] - self.f_remaining[i])
+            obs = FlowObservation(fid, flow.src, flow.dst,
+                                  int(max(seen, 1.0)), self.now)
+            for hop in range(self._MAX_HOPS):
+                q = int(self.f_path[i, hop])
+                if q < 0:
+                    continue
+                out.setdefault(int(self.q_switch[q]), {})[fid] = obs
+        return out
+
+    def _flow_observations_fast(self) -> Dict[int, Dict[int, FlowObservation]]:
+        """Same observations as the reference loop above, built from three
+        vector gathers plus plain-``int`` Python loops (per-element numpy
+        scalar indexing is what dominated the reference's profile).  The
+        vector subtract produces the same bytes as the per-flow scalar
+        subtract, and flows/hops are visited in the same order, so the
+        dicts are equal including insertion order."""
+        out: Dict[int, Dict[int, FlowObservation]] = {}
+        n = self._n_flows
+        act = self.f_active[:n].nonzero()[0]
+        if not act.size:
+            return out
+        seen_v = self.f_size[act] - self.f_remaining[act]
+        paths = self.f_path[act].tolist()
+        if self._q_switch_list is None:
+            self._q_switch_list = [int(s) for s in self.q_switch]
+        qsw = self._q_switch_list
+        idx_to_fid = self._idx_to_fid
+        flow_objs = self.flow_objs
+        now = self.now
+        for i, seen, path_i in zip(act.tolist(), seen_v.tolist(), paths):
+            fid = idx_to_fid[i]
+            flow = flow_objs[fid]
+            obs = FlowObservation(fid, flow.src, flow.dst,
+                                  int(seen if seen > 1.0 else 1.0), now)
+            for q in path_i:
+                if q >= 0:
+                    out.setdefault(qsw[q], {})[fid] = obs
+        return out
+
+    def switch_queue_indices(self, switch_name: str) -> List[int]:
+        """Global queue ids belonging to one switch, in stable order."""
+        s = self._switch_id(switch_name)
+        return [int(i) for i in np.flatnonzero(self.q_switch == s)]
+
+    def port_stats(self) -> Dict[Tuple[str, int], QueueStats]:
+        """Per-queue interval statistics (multi-queue mode, §4.5.2).
+
+        Does not reset interval accumulators; pair with
+        :meth:`queue_stats` once per interval.
+        """
+        interval = max(self._acc_time, 1e-12)
+        out: Dict[Tuple[str, int], QueueStats] = {}
+        for name in self.switch_names():
+            for local, q in enumerate(self.switch_queue_indices(name)):
+                out[(name, local)] = QueueStats(
+                    switch=name, interval=interval,
+                    qlen_bytes=float(self.q_len[q]),
+                    max_port_qlen_bytes=float(self.q_len[q]),
+                    avg_qlen_bytes=float(self._acc_qlen_area[q]) / interval,
+                    tx_bytes=int(self._acc_tx[q]),
+                    tx_marked_bytes=int(self._acc_marked[q]),
+                    dropped_pkts=0,
+                    capacity_bps=float(self.q_cap[q] * 8.0),
+                    ecn=ECNConfig(int(self.kmin[q]), int(self.kmax[q]),
+                                  float(self.pmax[q])),
+                    n_queues=1)
+        return out
+
+    def set_ecn_port(self, switch_name: str, port_idx: int,
+                     config: ECNConfig) -> None:
+        """Configure a single queue of a switch (multi-queue mode)."""
+        qs = self.switch_queue_indices(switch_name)
+        q = qs[port_idx]
+        self.kmin[q] = config.kmin_bytes
+        self.kmax[q] = config.kmax_bytes
+        self.pmax[q] = config.pmax
+
+    def set_ecn(self, switch_name: str, config: ECNConfig) -> None:
+        s = self._switch_id(switch_name)
+        mask = self.q_switch == s
+        self.kmin[mask] = config.kmin_bytes
+        self.kmax[mask] = config.kmax_bytes
+        self.pmax[mask] = config.pmax
+        self._ecn_by_switch[s] = config
+        get_registry().inc("netsim.ecn_set", sim="fluid")
+
+    def set_ecn_all(self, config: ECNConfig) -> None:
+        for name in self.switch_names():
+            self.set_ecn(name, config)
+
+
+class FluidNetwork(FlowTableMixin, SwitchStatsMixin):
     """Vectorized fluid simulation of a leaf–spine DCN.
 
     Queue layout (Q queues total):
@@ -200,10 +546,19 @@ class FluidNetwork:
         return [f"h{i}" for i in range(self.config.n_hosts)]
 
     def _switch_id(self, name: str) -> int:
-        if name.startswith("leaf"):
-            return int(name[4:])
-        if name.startswith("spine"):
-            return self.config.n_leaf + int(name[5:])
+        # Unknown names raise KeyError (not a bare int() ValueError) so
+        # serve/chaos callers can degrade per-switch instead of crashing.
+        try:
+            if name.startswith("leaf"):
+                s = int(name[4:])
+                if 0 <= s < self.config.n_leaf:
+                    return s
+            elif name.startswith("spine"):
+                s = int(name[5:])
+                if 0 <= s < self.config.n_spine:
+                    return self.config.n_leaf + s
+        except ValueError:
+            pass
         raise KeyError(f"unknown switch {name!r}")
 
     def _leaf_of(self, host: int) -> int:
@@ -224,102 +579,18 @@ class FluidNetwork:
             if not live:
                 live = list(range(cfg.n_spine))   # partitioned: keep old path
             fid = self._idx_to_fid[idx]
-            s = live[hash((fid, 0x9E37)) % len(live)]
+            # Explicit splitmix64 mix (repro.netsim.routing): builtin
+            # hash() is implementation-defined and unpinnable across
+            # interpreter versions (PET007).
+            s = live[ecmp_hash(fid, len(live))]
             self.f_spine[idx] = s
             path[0] = self._lu0 + jl * cfg.n_spine + s
             path[1] = self._sd0 + s * cfg.n_leaf + jr
             path[2] = self._ld0 + dst
         self.f_path[idx] = path
 
-    # ------------------------------------------------------------ flows
-    def _grow(self) -> None:
-        if self._batch is not None:
-            # A batched replica's flow arrays are row views into the
-            # batch's (R, cap) storage: growing them locally would break
-            # that aliasing (this replica would silently detach while
-            # the batch kernel keeps stepping the stale storage).  The
-            # batch grows all replicas together and re-points the views.
-            self._batch._grow_flows()
-            return
-        new_cap = self._cap_flows * 2
-        for name in ("f_src", "f_dst", "f_size", "f_remaining", "f_rate",
-                     "f_alpha", "f_active", "f_spine"):
-            arr = getattr(self, name)
-            grown = np.zeros(new_cap, dtype=arr.dtype)
-            grown[:self._cap_flows] = arr
-            if name == "f_spine":
-                grown[self._cap_flows:] = -1
-            setattr(self, name, grown)
-        grown_path = np.full((new_cap, self._MAX_HOPS), -1, dtype=np.int64)
-        grown_path[:self._cap_flows] = self.f_path
-        self.f_path = grown_path
-        self._cap_flows = new_cap
-
-    def start_flow(self, flow: Flow) -> None:
-        """Register a flow; it activates when ``now`` reaches its start."""
-        if flow.flow_id in self.flow_objs:
-            raise ValueError(f"duplicate flow id {flow.flow_id}")
-        if not 0 <= self._host_index(flow.src) < self.config.n_hosts:
-            raise ValueError(f"unknown host {flow.src}")
-        self.flow_objs[flow.flow_id] = flow
-        self._pending.append(flow)
-        self._pending_sorted = False
-
-    def start_flows(self, flows: List[Flow]) -> None:
-        for f in flows:
-            self.start_flow(f)
-
-    @staticmethod
-    def _host_index(name) -> int:
-        if isinstance(name, str):
-            return int(name[1:])
-        return int(name)
-
-    def _activate_due(self) -> None:
-        if not self._pending:
-            return
-        if not self._pending_sorted:
-            self._pending.sort(key=lambda f: f.start_time)
-            self._pending_sorted = True
-        # Walk an index over the sorted prefix and delete it in one slice
-        # afterwards — the former pop(0)-per-flow loop was O(k·P) in the
-        # pending backlog P every step.
-        pend = self._pending
-        consumed = 0
-        while consumed < len(pend) and pend[consumed].start_time <= self.now:
-            flow = pend[consumed]
-            consumed += 1
-            if self._n_flows >= self._cap_flows:
-                self._grow()
-            idx = self._free_slot()
-            fid = flow.flow_id
-            self._fid_to_idx[fid] = idx
-            self._idx_to_fid[idx] = fid
-            self.f_src[idx] = self._host_index(flow.src)
-            self.f_dst[idx] = self._host_index(flow.dst)
-            self.f_size[idx] = flow.size_bytes
-            self.f_remaining[idx] = flow.size_bytes
-            self.f_rate[idx] = (self.config.start_rate_fraction
-                                * self.config.host_rate_bps / 8.0)
-            self.f_alpha[idx] = 1.0
-            self.f_active[idx] = True
-            self._route(idx)
-        if consumed:
-            del pend[:consumed]
-
-    def _free_slot(self) -> int:
-        # O(1): recycle a finished flow's slot, else extend the
-        # high-water mark (keeping per-step vector ops proportional to
-        # the concurrent — not cumulative — flow count).
-        if self._free_list:
-            return self._free_list.pop()
-        if self._n_flows >= self._cap_flows:
-            self._grow()
-        idx = self._n_flows
-        self._n_flows += 1
-        return idx
-
     # ------------------------------------------------------------ dynamics
+    # (flow registration/activation lives in FlowTableMixin)
     def advance(self, dt: float) -> None:
         """Advance virtual time by ``dt`` (an integer number of steps)."""
         if dt <= 0:
@@ -380,15 +651,10 @@ class FluidNetwork:
 
         # --- queue integration & marking -----------------------------------
         cap = self.q_cap
-        served_rate = np.minimum(arrival + self.q_len / dt, cap)
-        new_qlen = np.clip(self.q_len + (arrival - cap) * dt, 0.0, None)
-        overflow = new_qlen - cfg.switch_buffer_bytes
-        drops = np.clip(overflow, 0.0, None)
-        new_qlen = np.minimum(new_qlen, cfg.switch_buffer_bytes)
-        # RED mark probability on instantaneous occupancy
-        span = np.maximum(self.kmax - self.kmin, 1.0)
-        p_mark = np.clip((new_qlen - self.kmin) / span, 0.0, 1.0) * self.pmax
-        p_mark = np.where(new_qlen >= self.kmax, 1.0, p_mark)
+        served_rate, new_qlen, drops, p_mark, srv_ratio = \
+            integrate_queue_block(self.q_len, cap, self.kmin, self.kmax,
+                                  self.pmax, arrival, dt,
+                                  cfg.switch_buffer_bytes)
 
         # --- stats ----------------------------------------------------------
         self._acc_tx += served_rate * dt
@@ -402,7 +668,6 @@ class FluidNetwork:
         no_mark = np.ones(n)
         bottleneck = np.ones(n)
         qdelay = np.zeros(n)
-        srv_ratio = cap / np.maximum(arrival, cap)   # <=1 where overloaded
         for hop in range(self._MAX_HOPS):
             qs = path[:, hop]
             ok = (qs >= 0) & active
@@ -662,153 +927,7 @@ class FluidNetwork:
                     (self.now, cfg.base_rtt / 2.0 + qdelay[i]))
 
     # ------------------------------------------------------------ stats & control
-    def _switch_index_cache(self) -> List[np.ndarray]:
-        """Per-switch queue-index arrays (``q_switch`` is static)."""
-        if self._sw_q_idx is None:
-            self._sw_q_idx = [np.flatnonzero(self.q_switch == s)
-                              for s in range(self.n_switches)]
-        return self._sw_q_idx
-
-    def queue_stats(self) -> Dict[str, QueueStats]:
-        """Per-switch interval statistics; resets the interval."""
-        get_registry().inc("netsim.stats_collections", sim="fluid")
-        interval = max(self._acc_time, 1e-12)
-        if self._names_cache is None:
-            self._names_cache = self.switch_names()
-        names = self._names_cache
-        out: Dict[str, QueueStats] = {}
-        flow_obs_by_switch = self._flow_observations()
-        sw_idx = self._switch_index_cache() if self.fastpath else None
-        for s, name in enumerate(names):
-            # Gathering by precomputed index array extracts exactly the
-            # same elements in the same order as the boolean mask, so
-            # the pairwise sums are bit-identical.
-            if sw_idx is not None:
-                mask: np.ndarray = sw_idx[s]
-                nq = len(mask)
-            else:
-                mask = self.q_switch == s
-                nq = int(mask.sum())
-            tx = float(self._acc_tx[mask].sum())
-            marked = float(self._acc_marked[mask].sum())
-            avg_q = float(self._acc_qlen_area[mask].sum()) / interval
-            drops = float(self._acc_drops[mask].sum())
-            out[name] = QueueStats(
-                switch=name, interval=interval,
-                qlen_bytes=float(self.q_len[mask].sum()),
-                max_port_qlen_bytes=float(self.q_len[mask].max(initial=0.0)),
-                avg_qlen_bytes=avg_q,
-                tx_bytes=int(tx), tx_marked_bytes=int(marked),
-                dropped_pkts=int(drops // 1000) if drops else 0,
-                capacity_bps=float(self.q_cap[mask].sum() * 8.0),
-                ecn=self._ecn_by_switch[s], n_queues=nq,
-                flow_obs=flow_obs_by_switch.get(s, {}))
-        self._acc_tx[:] = 0.0
-        self._acc_marked[:] = 0.0
-        self._acc_qlen_area[:] = 0.0
-        self._acc_drops[:] = 0.0
-        self._acc_time = 0.0
-        return out
-
-    def _flow_observations(self) -> Dict[int, Dict[int, FlowObservation]]:
-        """Active-flow observations grouped by every switch on their path."""
-        if self.fastpath:
-            return self._flow_observations_fast()
-        out: Dict[int, Dict[int, FlowObservation]] = {}
-        n = self._n_flows
-        for i in np.flatnonzero(self.f_active[:n]):
-            fid = self._idx_to_fid[int(i)]
-            flow = self.flow_objs[fid]
-            seen = float(self.f_size[i] - self.f_remaining[i])
-            obs = FlowObservation(fid, flow.src, flow.dst,
-                                  int(max(seen, 1.0)), self.now)
-            for hop in range(self._MAX_HOPS):
-                q = int(self.f_path[i, hop])
-                if q < 0:
-                    continue
-                out.setdefault(int(self.q_switch[q]), {})[fid] = obs
-        return out
-
-    def _flow_observations_fast(self) -> Dict[int, Dict[int, FlowObservation]]:
-        """Same observations as the reference loop above, built from three
-        vector gathers plus plain-``int`` Python loops (per-element numpy
-        scalar indexing is what dominated the reference's profile).  The
-        vector subtract produces the same bytes as the per-flow scalar
-        subtract, and flows/hops are visited in the same order, so the
-        dicts are equal including insertion order."""
-        out: Dict[int, Dict[int, FlowObservation]] = {}
-        n = self._n_flows
-        act = self.f_active[:n].nonzero()[0]
-        if not act.size:
-            return out
-        seen_v = self.f_size[act] - self.f_remaining[act]
-        paths = self.f_path[act].tolist()
-        if self._q_switch_list is None:
-            self._q_switch_list = [int(s) for s in self.q_switch]
-        qsw = self._q_switch_list
-        idx_to_fid = self._idx_to_fid
-        flow_objs = self.flow_objs
-        now = self.now
-        for i, seen, path_i in zip(act.tolist(), seen_v.tolist(), paths):
-            fid = idx_to_fid[i]
-            flow = flow_objs[fid]
-            obs = FlowObservation(fid, flow.src, flow.dst,
-                                  int(seen if seen > 1.0 else 1.0), now)
-            for q in path_i:
-                if q >= 0:
-                    out.setdefault(qsw[q], {})[fid] = obs
-        return out
-
-    def switch_queue_indices(self, switch_name: str) -> List[int]:
-        """Global queue ids belonging to one switch, in stable order."""
-        s = self._switch_id(switch_name)
-        return [int(i) for i in np.flatnonzero(self.q_switch == s)]
-
-    def port_stats(self) -> Dict[Tuple[str, int], QueueStats]:
-        """Per-queue interval statistics (multi-queue mode, §4.5.2).
-
-        Does not reset interval accumulators; pair with
-        :meth:`queue_stats` once per interval.
-        """
-        interval = max(self._acc_time, 1e-12)
-        out: Dict[Tuple[str, int], QueueStats] = {}
-        for name in self.switch_names():
-            for local, q in enumerate(self.switch_queue_indices(name)):
-                out[(name, local)] = QueueStats(
-                    switch=name, interval=interval,
-                    qlen_bytes=float(self.q_len[q]),
-                    max_port_qlen_bytes=float(self.q_len[q]),
-                    avg_qlen_bytes=float(self._acc_qlen_area[q]) / interval,
-                    tx_bytes=int(self._acc_tx[q]),
-                    tx_marked_bytes=int(self._acc_marked[q]),
-                    dropped_pkts=0,
-                    capacity_bps=float(self.q_cap[q] * 8.0),
-                    ecn=ECNConfig(int(self.kmin[q]), int(self.kmax[q]),
-                                  float(self.pmax[q])),
-                    n_queues=1)
-        return out
-
-    def set_ecn_port(self, switch_name: str, port_idx: int,
-                     config: ECNConfig) -> None:
-        """Configure a single queue of a switch (multi-queue mode)."""
-        qs = self.switch_queue_indices(switch_name)
-        q = qs[port_idx]
-        self.kmin[q] = config.kmin_bytes
-        self.kmax[q] = config.kmax_bytes
-        self.pmax[q] = config.pmax
-
-    def set_ecn(self, switch_name: str, config: ECNConfig) -> None:
-        s = self._switch_id(switch_name)
-        mask = self.q_switch == s
-        self.kmin[mask] = config.kmin_bytes
-        self.kmax[mask] = config.kmax_bytes
-        self.pmax[mask] = config.pmax
-        self._ecn_by_switch[s] = config
-        get_registry().inc("netsim.ecn_set", sim="fluid")
-
-    def set_ecn_all(self, config: ECNConfig) -> None:
-        for name in self.switch_names():
-            self.set_ecn(name, config)
+    # (queue_stats / port_stats / set_ecn* live in SwitchStatsMixin)
 
     # ------------------------------------------------------------ failures
     def fail_uplinks(self, fraction: float,
@@ -862,14 +981,3 @@ class FluidNetwork:
             jr = self._leaf_of(int(self.f_dst[i]))
             if not (self.uplink_up[jl, s] and self.uplink_up[jr, s]):
                 self._route(int(i))
-
-    # ------------------------------------------------------------ convenience
-    def active_flow_count(self) -> int:
-        return int(self.f_active[:self._n_flows].sum()) + len(self._pending)
-
-    def total_drops(self) -> int:
-        return int(self._acc_drops.sum())
-
-    @property
-    def flows(self) -> Dict[int, Flow]:
-        return self.flow_objs

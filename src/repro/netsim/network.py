@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.netsim.ecn import ECNConfig
 from repro.netsim.engine import Simulator
+from repro.netsim.fattree import FatTreeConfig, FatTreeTopology
 from repro.netsim.flow import Flow
 from repro.netsim.packet import Packet
 from repro.netsim.queueing import FlowObservation
@@ -85,8 +86,8 @@ class QueueStats:
 class PacketNetwork:
     """Assembled packet-level simulation."""
 
-    def __init__(self, config: Optional[TopologyConfig] = None, *,
-                 transport: str = "dcqcn", seed: Optional[int] = 0,
+    def __init__(self, config: Optional[TopologyConfig | FatTreeConfig] = None,
+                 *, transport: str = "dcqcn", seed: Optional[int] = 0,
                  latency_sample_cap: int = 200_000,
                  transport_kwargs: Optional[dict] = None,
                  fastpath: bool = True) -> None:
@@ -100,7 +101,15 @@ class PacketNetwork:
         self.fastpath = bool(fastpath)
         self.sim = Simulator(fastpath=fastpath)
         self.rng = np.random.default_rng(seed)
-        self.topology = LeafSpineTopology(self.config, self.sim, rng=self.rng)
+        # The two builders expose the same duck-typed surface (hosts,
+        # switches(), node(), fabric_ports); everything below is
+        # topology-agnostic.
+        if isinstance(self.config, FatTreeConfig):
+            self.topology: LeafSpineTopology | FatTreeTopology = \
+                FatTreeTopology(self.config, self.sim, rng=self.rng)
+        else:
+            self.topology = LeafSpineTopology(self.config, self.sim,
+                                              rng=self.rng)
         self.transport_name = transport
         self.flows: Dict[int, Flow] = {}
         self.finished_flows: List[Flow] = []

@@ -1,0 +1,555 @@
+"""Spatially-sharded fluid simulation of a multi-pod fat-tree.
+
+The monolithic :class:`~repro.netsim.fluid.FluidNetwork` tops out at one
+leaf–spine pod; production-scale fabrics (ROADMAP item 2) are fat-trees
+with hundreds of switches.  :class:`ShardedFluidNetwork` steps that
+shape by spatial decomposition:
+
+- the global queue state is laid out in **subdomain blocks** — one
+  contiguous block per pod (edge-down, edge-up, agg-up and agg-down
+  queues) plus one block for the core plane;
+- each Δt, the flow phase (NIC sharing, per-queue arrival scatter)
+  computes every subdomain's boundary input — the arrival rates are
+  exactly the "boundary flow rates" exchanged between pods — and then
+  each block integrates independently via
+  :func:`~repro.netsim.fluid.integrate_queue_block`;
+- blocks are grouped into ``shards`` contiguous groups, stepped either
+  in-process or as one :class:`repro.parallel.engine.TaskSpec` per
+  group on a caller-supplied Engine, and merged back in task-id order.
+
+**Determinism contract** — ``shards=N`` is bit-identical to
+``shards=1`` for every N and for the Engine-parallel path.  The
+subdomain partition is fixed by the topology (never by the shard
+count), queue integration is elementwise per queue so evaluating it on
+a block slice yields exactly the elements the whole-array call would,
+and the merge writes disjoint slices back in a fixed order.  This is
+the same contract the engine proves for rollout workers and
+:class:`~repro.netsim.batchfluid.BatchFluidNetwork` proves for replica
+batching; ``tests/test_shard.py`` pins it with canonical fingerprints
+and ``bench --hotpath`` carries it as the ``sim_shard`` workload.
+
+The controller-facing surface (``advance`` / ``queue_stats`` /
+``set_ecn`` / ``fail_uplinks``) matches the other two simulators, so
+PET, ACC and the static baselines drive a fat-tree unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netsim.ecn import ECNConfig
+from repro.netsim.fattree import FatTreeConfig
+from repro.netsim.flow import Flow
+from repro.netsim.fluid import (FlowTableMixin, SwitchStatsMixin,
+                                integrate_queue_block)
+from repro.netsim.routing import ecmp_hash
+from repro.obs.metrics import get_registry
+from repro.parallel.engine import Engine, TaskSpec
+
+__all__ = ["Subdomain", "ShardedFluidNetwork"]
+
+#: floating-point queue-state arrays held per block (q_len, q_cap,
+#: q_cap_nominal, kmin, kmax, pmax, 4 interval accumulators) — used for
+#: the per-shard memory attribution in :meth:`ShardedFluidNetwork.
+#: memory_report`.
+_FLOAT_ARRAYS_PER_QUEUE = 10
+
+
+class Subdomain:
+    """One contiguous block of the global queue arrays.
+
+    A pod's queues (or the core plane's) — the unit of spatial
+    decomposition.  Holds only layout metadata; the owning network
+    holds the state, so re-grouping subdomains into a different shard
+    count never moves data.
+    """
+
+    def __init__(self, name: str, start: int, stop: int) -> None:
+        self.name = name
+        self.start = start
+        self.stop = stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __repr__(self) -> str:
+        return f"Subdomain({self.name!r}, [{self.start}, {self.stop}))"
+
+
+def _integrate_block_group(blocks: List[Dict[str, np.ndarray]],
+                           dt: float) -> List[Tuple[np.ndarray, ...]]:
+    """Engine task body: integrate one shard group's subdomain blocks.
+
+    Module-level and pure so it pickles to worker processes; blocks are
+    self-contained state dicts, results are returned per block in block
+    order (the caller merges groups in task-id order).
+    """
+    return [integrate_queue_block(b["q_len"], b["q_cap"], b["kmin"],
+                                  b["kmax"], b["pmax"], b["arrival"],
+                                  dt, b["buffer_bytes"])
+            for b in blocks]
+
+
+class ShardedFluidNetwork(FlowTableMixin, SwitchStatsMixin):
+    """Vectorized fluid simulation of a fat-tree, one subdomain per pod.
+
+    Queue layout, per pod ``p`` (one contiguous block each), then core:
+
+    - ``edge_down[e, h]`` — edge ``e`` to each local host,
+    - ``edge_up[e, a]``   — edge ``e`` to agg ``a``,
+    - ``agg_up[a, k]``    — agg ``a`` to its ``k``-th core,
+    - ``agg_down[a, e]``  — agg ``a`` to edge ``e``,
+    - ``core_down[c, p]`` — core ``c`` to pod ``p`` (core block).
+
+    An intra-edge flow takes 1 queue, intra-pod 3, inter-pod 5.
+    """
+
+    _MAX_HOPS = 5
+    _FLOW_CHOICE_1D = ("f_core",)
+
+    def __init__(self, config: Optional[FatTreeConfig] = None, *,
+                 shards: int = 1, seed: Optional[int] = None,
+                 engine: Optional[Engine] = None) -> None:
+        self.config = config or FatTreeConfig()
+        cfg = self.config
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards > cfg.n_pods + 1:
+            raise ValueError(
+                f"shards={shards} exceeds the {cfg.n_pods + 1} subdomains "
+                f"({cfg.n_pods} pods + core plane) of this fabric")
+        self.shards = int(shards)
+        self.rng = np.random.default_rng(seed)
+        self._engine = engine
+        self.now = 0.0
+        # The stats mixin's fast observation builder is topology-generic;
+        # there is no dual step path here (the conformance axis is
+        # shards, not fastpath).
+        self.fastpath = True
+
+        # ---- queue layout: one block per pod, then the core plane --------
+        n_p, n_e, n_a = cfg.n_pods, cfg.edge_per_pod, cfg.agg_per_pod
+        cpa, n_c = cfg.core_per_agg, cfg.n_core
+        hpp = cfg.hosts_per_pod
+        self._pb_edge_down = 0
+        self._pb_edge_up = hpp
+        self._pb_agg_up = hpp + n_e * n_a
+        self._pb_agg_down = hpp + n_e * n_a + n_a * cpa
+        self._pod_block = hpp + n_e * n_a + n_a * cpa + n_a * n_e
+        self._core0 = n_p * self._pod_block
+        self.n_queues = self._core0 + n_c * n_p
+        self.subdomains: List[Subdomain] = [
+            Subdomain(f"pod{p}", p * self._pod_block, (p + 1) * self._pod_block)
+            for p in range(n_p)]
+        self.subdomains.append(Subdomain("core", self._core0, self.n_queues))
+        #: contiguous shard groups of subdomains — fixed partition, any
+        #: grouping: bit-identity over ``shards`` holds by construction.
+        self.shard_groups: List[List[Subdomain]] = [
+            list(g) for g in np.array_split(np.array(self.subdomains,
+                                                     dtype=object), shards)]
+
+        self.q_cap = np.empty(self.n_queues)                 # bytes/s
+        self.q_switch = np.empty(self.n_queues, dtype=np.int64)
+        sw_per_pod = n_e + n_a
+        for p in range(n_p):
+            b0 = p * self._pod_block
+            for h in range(hpp):
+                q = b0 + self._pb_edge_down + h
+                self.q_cap[q] = cfg.host_rate_bps / 8.0
+                self.q_switch[q] = p * sw_per_pod + h // cfg.hosts_per_edge
+            for e in range(n_e):
+                for a in range(n_a):
+                    q = b0 + self._pb_edge_up + e * n_a + a
+                    self.q_cap[q] = cfg.agg_rate_bps / 8.0
+                    self.q_switch[q] = p * sw_per_pod + e
+            for a in range(n_a):
+                for k in range(cpa):
+                    q = b0 + self._pb_agg_up + a * cpa + k
+                    self.q_cap[q] = cfg.core_rate_bps / 8.0
+                    self.q_switch[q] = p * sw_per_pod + n_e + a
+                for e in range(n_e):
+                    q = b0 + self._pb_agg_down + a * n_e + e
+                    self.q_cap[q] = cfg.agg_rate_bps / 8.0
+                    self.q_switch[q] = p * sw_per_pod + n_e + a
+        for c in range(n_c):
+            for p in range(n_p):
+                q = self._core0 + c * n_p + p
+                self.q_cap[q] = cfg.core_rate_bps / 8.0
+                self.q_switch[q] = n_p * sw_per_pod + c
+        self.q_cap_nominal = self.q_cap.copy()
+        self.q_len = np.zeros(self.n_queues)                 # bytes
+        self.n_switches = cfg.n_switches
+        self.kmin = np.full(self.n_queues, float(cfg.default_ecn.kmin_bytes))
+        self.kmax = np.full(self.n_queues, float(cfg.default_ecn.kmax_bytes))
+        self.pmax = np.full(self.n_queues, float(cfg.default_ecn.pmax))
+        self._ecn_by_switch: Dict[int, ECNConfig] = {
+            s: cfg.default_ecn for s in range(self.n_switches)}
+        #: per-(pod, core) uplink health — one bit covers the agg_up and
+        #: core_down queue pair of the agg(p, c//cpa) <-> core(c) link.
+        self.uplink_up = np.ones((n_p, n_c), dtype=bool)
+        self.fabric_capacity_factor = 1.0
+
+        # ---- flow arrays (grow-on-demand; FlowTableMixin contract) --------
+        self._cap_flows = cfg.initial_flow_capacity
+        self._n_flows = 0
+        self.f_src = np.zeros(self._cap_flows, dtype=np.int64)
+        self.f_dst = np.zeros(self._cap_flows, dtype=np.int64)
+        self.f_size = np.zeros(self._cap_flows)
+        self.f_remaining = np.zeros(self._cap_flows)
+        self.f_rate = np.zeros(self._cap_flows)              # bytes/s
+        self.f_alpha = np.zeros(self._cap_flows)
+        self.f_active = np.zeros(self._cap_flows, dtype=bool)
+        self.f_path = np.full((self._cap_flows, self._MAX_HOPS), -1,
+                              dtype=np.int64)
+        self.f_core = np.full(self._cap_flows, -1, dtype=np.int64)
+        self.flow_objs: Dict[int, Flow] = {}
+        self._fid_to_idx: Dict[int, int] = {}
+        self._idx_to_fid: Dict[int, int] = {}
+        self._free_list: List[int] = []
+        self._pending: List[Flow] = []
+        self._pending_sorted = True
+        self.finished_flows: List[Flow] = []
+        self.latencies: List[Tuple[float, float]] = []
+
+        # ---- interval stats accumulators ----------------------------------
+        self._acc_tx = np.zeros(self.n_queues)
+        self._acc_marked = np.zeros(self.n_queues)
+        self._acc_qlen_area = np.zeros(self.n_queues)
+        self._acc_time = 0.0
+        self._acc_drops = np.zeros(self.n_queues)
+
+        # caches for the stats mixin
+        self._names_cache: Optional[List[str]] = None
+        self._sw_q_idx: Optional[List[np.ndarray]] = None
+        self._q_switch_list: Optional[List[int]] = None
+        self._batch = None   # never replica-batched; mixin contract
+
+        reg = get_registry()
+        if reg:
+            for sub in self.subdomains:
+                reg.set_gauge("netsim.shard_queue_bytes",
+                              float(len(sub) * 8 * _FLOAT_ARRAYS_PER_QUEUE),
+                              sim="fluid_shard", subdomain=sub.name)
+
+    # ------------------------------------------------------------ topology
+    def switch_names(self) -> List[str]:
+        cfg = self.config
+        out: List[str] = []
+        for p in range(cfg.n_pods):
+            out.extend(f"pod{p}.edge{e}" for e in range(cfg.edge_per_pod))
+            out.extend(f"pod{p}.agg{a}" for a in range(cfg.agg_per_pod))
+        out.extend(f"core{c}" for c in range(cfg.n_core))
+        return out
+
+    def host_names(self) -> List[str]:
+        return [f"h{i}" for i in range(self.config.n_hosts)]
+
+    def _switch_id(self, name: str) -> int:
+        cfg = self.config
+        sw_per_pod = cfg.edge_per_pod + cfg.agg_per_pod
+        try:
+            if name.startswith("core"):
+                c = int(name[4:])
+                if 0 <= c < cfg.n_core:
+                    return cfg.n_pods * sw_per_pod + c
+            elif name.startswith("pod") and "." in name:
+                pod_part, sw_part = name.split(".", 1)
+                p = int(pod_part[3:])
+                if 0 <= p < cfg.n_pods:
+                    if sw_part.startswith("edge"):
+                        e = int(sw_part[4:])
+                        if 0 <= e < cfg.edge_per_pod:
+                            return p * sw_per_pod + e
+                    elif sw_part.startswith("agg"):
+                        a = int(sw_part[3:])
+                        if 0 <= a < cfg.agg_per_pod:
+                            return p * sw_per_pod + cfg.edge_per_pod + a
+        except ValueError:
+            pass
+        raise KeyError(f"unknown switch {name!r}")
+
+    # -- queue ids ----------------------------------------------------------
+    def _q_edge_down(self, pod: int, host_local: int) -> int:
+        return pod * self._pod_block + self._pb_edge_down + host_local
+
+    def _q_edge_up(self, pod: int, edge: int, agg: int) -> int:
+        return (pod * self._pod_block + self._pb_edge_up
+                + edge * self.config.agg_per_pod + agg)
+
+    def _q_agg_up(self, pod: int, core: int) -> int:
+        # agg a = core // cpa owns the uplink; its k-th core port
+        return pod * self._pod_block + self._pb_agg_up + core
+
+    def _q_agg_down(self, pod: int, agg: int, edge: int) -> int:
+        return (pod * self._pod_block + self._pb_agg_down
+                + agg * self.config.edge_per_pod + edge)
+
+    def _q_core_down(self, core: int, pod: int) -> int:
+        return self._core0 + core * self.config.n_pods + pod
+
+    def _route(self, idx: int) -> None:
+        """(Re)compute the queue path of flow slot ``idx``."""
+        cfg = self.config
+        src, dst = int(self.f_src[idx]), int(self.f_dst[idx])
+        ps, pd = cfg.pod_of_host(src), cfg.pod_of_host(dst)
+        es, ed = cfg.edge_of_host(src), cfg.edge_of_host(dst)
+        h_local = dst % cfg.hosts_per_pod
+        path = np.full(self._MAX_HOPS, -1, dtype=np.int64)
+        fid = self._idx_to_fid[idx]
+        if ps == pd and es == ed:
+            path[0] = self._q_edge_down(pd, h_local)
+            self.f_core[idx] = -1
+        elif ps == pd:
+            # intra-pod: pick an aggregation switch (pod-internal links
+            # have no failure bit, so every agg is live)
+            a = ecmp_hash(fid, cfg.agg_per_pod)
+            path[0] = self._q_edge_up(ps, es, a)
+            path[1] = self._q_agg_down(pd, a, ed)
+            path[2] = self._q_edge_down(pd, h_local)
+            self.f_core[idx] = -1
+        else:
+            # inter-pod: pick a core live on both ends; the core fixes
+            # the aggregation switch (a = c // core_per_agg) in each pod
+            live = [c for c in range(cfg.n_core)
+                    if self.uplink_up[ps, c] and self.uplink_up[pd, c]]
+            if not live:
+                live = list(range(cfg.n_core))   # partitioned: keep old path
+            c = live[ecmp_hash(fid, len(live))]
+            a = c // cfg.core_per_agg
+            path[0] = self._q_edge_up(ps, es, a)
+            path[1] = self._q_agg_up(ps, c)
+            path[2] = self._q_core_down(c, pd)
+            path[3] = self._q_agg_down(pd, a, ed)
+            path[4] = self._q_edge_down(pd, h_local)
+            self.f_core[idx] = c
+        self.f_path[idx] = path
+
+    # ------------------------------------------------------------ dynamics
+    def advance(self, dt: float) -> None:
+        """Advance virtual time by ``dt`` (an integer number of steps)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        steps = max(1, int(round(dt / self.config.step_dt)))
+        step_dt = self.config.step_dt
+        for _ in range(steps):
+            self._step(step_dt)
+        reg = get_registry()
+        if reg:
+            reg.inc("netsim.advance_calls", sim="fluid_shard")
+            reg.inc("netsim.steps", steps, sim="fluid_shard")
+            reg.inc("netsim.virtual_s", dt, sim="fluid_shard")
+
+    def _group_payload(self, group: Sequence[Subdomain],
+                       arrival: np.ndarray) -> List[Dict[str, np.ndarray]]:
+        buffer_bytes = float(self.config.switch_buffer_bytes)
+        return [{"q_len": self.q_len[s.start:s.stop],
+                 "q_cap": self.q_cap[s.start:s.stop],
+                 "kmin": self.kmin[s.start:s.stop],
+                 "kmax": self.kmax[s.start:s.stop],
+                 "pmax": self.pmax[s.start:s.stop],
+                 "arrival": arrival[s.start:s.stop],
+                 "buffer_bytes": buffer_bytes}
+                for s in group]
+
+    def _step_subdomains(self, arrival: np.ndarray, dt: float) -> Tuple[
+            np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Queue integration, one shard group at a time.
+
+        The boundary exchange: every subdomain receives its slice of the
+        globally-computed arrival rates (inter-pod flows contribute to
+        blocks of both pods and the core plane), steps independently,
+        and the results merge back into disjoint slices in task-id
+        order — so the shard count can never change a bit.
+        """
+        served = np.empty(self.n_queues)
+        new_qlen = np.empty(self.n_queues)
+        drops = np.empty(self.n_queues)
+        p_mark = np.empty(self.n_queues)
+        srv_ratio = np.empty(self.n_queues)
+        groups = self.shard_groups
+        if self._engine is None or len(groups) == 1:
+            results = [_integrate_block_group(self._group_payload(g, arrival),
+                                              dt)
+                       for g in groups]
+        else:
+            specs = [TaskSpec(task_id=t, fn=_integrate_block_group,
+                              args=(self._group_payload(g, arrival), dt))
+                     for t, g in enumerate(groups)]
+            results = self._engine.run(specs).values()
+        for group, group_res in zip(groups, results):
+            for sub, (sv, nq, dr, pm, sr) in zip(group, group_res):
+                served[sub.start:sub.stop] = sv
+                new_qlen[sub.start:sub.stop] = nq
+                drops[sub.start:sub.stop] = dr
+                p_mark[sub.start:sub.stop] = pm
+                srv_ratio[sub.start:sub.stop] = sr
+        return served, new_qlen, drops, p_mark, srv_ratio
+
+    def _step(self, dt: float) -> None:
+        """One Δt — the reference :meth:`FluidNetwork._step` phases with
+        the queue integration replaced by the sharded subdomain sweep."""
+        cfg = self.config
+        self.now += dt
+        self._activate_due()
+        n = self._n_flows
+        if n == 0:
+            self._acc_qlen_area += self.q_len * dt
+            self._acc_time += dt
+            return
+        active = self.f_active[:n]
+        idx = np.flatnonzero(active)
+        rate = self.f_rate[:n]
+
+        # --- NIC sharing: cap the sum of a host's flow rates at line rate.
+        line = cfg.host_rate_bps / 8.0
+        src = self.f_src[:n]
+        send = np.where(active, rate, 0.0)
+        per_src = np.bincount(src[idx], weights=send[idx],
+                              minlength=cfg.n_hosts)
+        over = per_src > line
+        if over.any():
+            scale_src = np.ones(cfg.n_hosts)
+            scale_src[over] = line / per_src[over]
+            send = send * scale_src[src]
+
+        # --- arrivals per queue (the subdomain boundary inputs) -----------
+        path = self.f_path[:n]
+        arrival = np.zeros(self.n_queues)
+        for hop in range(self._MAX_HOPS):
+            qs = path[idx, hop]
+            ok = qs >= 0
+            if ok.any():
+                np.add.at(arrival, qs[ok], send[idx][ok])
+
+        # --- sharded queue integration & marking --------------------------
+        served_rate, new_qlen, drops, p_mark, srv_ratio = \
+            self._step_subdomains(arrival, dt)
+
+        # --- stats --------------------------------------------------------
+        self._acc_tx += served_rate * dt
+        self._acc_marked += served_rate * dt * p_mark
+        self._acc_qlen_area += 0.5 * (self.q_len + new_qlen) * dt
+        self._acc_drops += drops
+        self._acc_time += dt
+        self.q_len = new_qlen
+
+        # --- end-to-end mark fraction per flow ----------------------------
+        cap = self.q_cap
+        no_mark = np.ones(n)
+        bottleneck = np.ones(n)
+        qdelay = np.zeros(n)
+        for hop in range(self._MAX_HOPS):
+            qs = path[:, hop]
+            ok = (qs >= 0) & active
+            if ok.any():
+                no_mark[ok] *= 1.0 - p_mark[qs[ok]]
+                bottleneck[ok] = np.minimum(bottleneck[ok], srv_ratio[qs[ok]])
+                qdelay[ok] += self.q_len[qs[ok]] / cap[qs[ok]]
+        mark_frac = 1.0 - no_mark
+
+        # --- DCQCN-like AIMD ----------------------------------------------
+        a = self.f_alpha[:n]
+        a[active] = (1.0 - cfg.g) * a[active] + cfg.g * mark_frac[active]
+        cut = 1.0 - (a * 0.5 * cfg.md_gain * mark_frac)
+        grow = cfg.ai_fraction * line
+        new_rate = np.where(mark_frac > 1e-3, rate * cut, rate + grow)
+        floor = cfg.min_rate_fraction * line
+        self.f_rate[:n] = np.where(active, np.clip(new_rate, floor, line),
+                                   rate)
+
+        # --- progress & completion ----------------------------------------
+        throughput = send * bottleneck
+        self.f_remaining[:n] -= throughput * dt
+        finished = active & (self.f_remaining[:n] <= 0.0)
+        if finished.any():
+            for i in np.flatnonzero(finished):
+                fid = self._idx_to_fid[int(i)]
+                flow = self.flow_objs[fid]
+                flow.finish_time = self.now + qdelay[i]
+                flow.bytes_sent = flow.size_bytes
+                flow.bytes_acked = flow.size_bytes
+                self.finished_flows.append(flow)
+                self.f_active[i] = False
+                self.f_remaining[i] = 0.0
+                del self._idx_to_fid[int(i)]
+                self._free_list.append(int(i))
+
+        # --- latency sampling: one random active flow per step ------------
+        if len(self.latencies) < cfg.latency_sample_cap:
+            act_idx = np.flatnonzero(self.f_active[:n])
+            if act_idx.size:
+                i = int(act_idx[self.rng.integers(act_idx.size)])
+                self.latencies.append(
+                    (self.now, cfg.base_rtt / 2.0 + qdelay[i]))
+
+    # ------------------------------------------------------------ failures
+    def fail_uplinks(self, fraction: float,
+                     rng: Optional[np.random.Generator] = None) -> int:
+        """Disable a fraction of pod↔core links and reroute around them."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = rng or self.rng
+        flat = np.flatnonzero(self.uplink_up.ravel())
+        k = max(1, int(round(fraction * self.uplink_up.size)))
+        chosen = rng.choice(flat, size=min(k, flat.size), replace=False)
+        up = self.uplink_up.ravel()
+        up[chosen] = False
+        self.uplink_up = up.reshape(self.uplink_up.shape)
+        self._apply_link_state()
+        return int(len(chosen))
+
+    def restore_uplinks(self) -> None:
+        self.uplink_up[:] = True
+        self._apply_link_state()
+
+    def set_fabric_capacity_factor(self, factor: float) -> None:
+        """Uniformly scale fabric (edge↔agg and pod↔core) link capacity."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("capacity factor must be in (0, 1]")
+        self.fabric_capacity_factor = float(factor)
+        self._apply_link_state()
+
+    def _apply_link_state(self) -> None:
+        cfg = self.config
+        factor = self.fabric_capacity_factor
+        for p in range(cfg.n_pods):
+            b0 = p * self._pod_block
+            # intra-pod fabric (edge<->agg) has no per-link failure bit;
+            # it scales uniformly with the chaos degradation factor
+            lo, hi = b0 + self._pb_edge_up, b0 + self._pb_agg_up
+            self.q_cap[lo:hi] = self.q_cap_nominal[lo:hi] * factor
+            lo, hi = b0 + self._pb_agg_down, b0 + self._pod_block
+            self.q_cap[lo:hi] = self.q_cap_nominal[lo:hi] * factor
+            for c in range(cfg.n_core):
+                link = factor if self.uplink_up[p, c] else 1e-6
+                qu = self._q_agg_up(p, c)
+                qd = self._q_core_down(c, p)
+                self.q_cap[qu] = self.q_cap_nominal[qu] * link
+                self.q_cap[qd] = self.q_cap_nominal[qd] * link
+        # Reroute flows whose core is unreachable on either end.
+        for i in np.flatnonzero(self.f_active[:self._n_flows]):
+            c = int(self.f_core[i])
+            if c < 0:
+                continue
+            ps = cfg.pod_of_host(int(self.f_src[i]))
+            pd = cfg.pod_of_host(int(self.f_dst[i]))
+            if not (self.uplink_up[ps, c] and self.uplink_up[pd, c]):
+                self._route(int(i))
+
+    # ------------------------------------------------------------ capacity
+    def bytes_in_flight(self) -> float:
+        """Total buffered bytes across every subdomain (conservation probe)."""
+        return float(self.q_len.sum())
+
+    def memory_report(self) -> Dict[str, int]:
+        """Resident queue-state bytes attributed per subdomain.
+
+        The capacity story of sharding: each entry is what one shard
+        group's worker actually needs for the queue phase, so peak
+        per-process memory scales with the largest subdomain, not the
+        fabric.  Mirrors the ``netsim.shard_queue_bytes`` gauge.
+        """
+        return {sub.name: len(sub) * 8 * _FLOAT_ARRAYS_PER_QUEUE
+                for sub in self.subdomains}

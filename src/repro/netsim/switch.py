@@ -19,17 +19,9 @@ from typing import Any, Dict, List, Optional
 from repro.netsim.ecn import ECNConfig
 from repro.netsim.link import OutputPort
 from repro.netsim.packet import Packet
+from repro.netsim.routing import ecmp_hash as _ecmp_hash
 
 __all__ = ["SwitchNode"]
-
-
-def _ecmp_hash(flow_id: int, n: int) -> int:
-    """Deterministic flow→path hash (splitmix-style avalanche)."""
-    x = (flow_id + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
-    x ^= x >> 31
-    return x % n
 
 
 class SwitchNode:

@@ -168,7 +168,14 @@ class LeafSpineTopology:
         return [*self.leaves, *self.spines]
 
     def leaf_of(self, host_name: str) -> SwitchNode:
-        i = int(host_name[1:])
+        # Unknown names raise KeyError (not a bare int() ValueError) so
+        # serve/chaos callers can degrade per-node instead of crashing.
+        try:
+            i = int(host_name[1:])
+        except ValueError:
+            raise KeyError(f"unknown host {host_name!r}") from None
+        if not (host_name.startswith("h") and 0 <= i < self.config.n_hosts):
+            raise KeyError(f"unknown host {host_name!r}")
         return self.leaves[i // self.config.hosts_per_leaf]
 
     # -- graph view (for validation/analysis) -------------------------------

@@ -240,6 +240,38 @@ class TestPET006MutableDefaults:
         assert "PET006" not in rules_found(src)
 
 
+class TestPET007BuiltinHash:
+    def test_flags_bare_hash_call(self):
+        src = """
+        def pick(flow_id, n):
+            return hash((flow_id, 0x9E37)) % n
+        """
+        assert "PET007" in rules_found(src)
+
+    def test_passes_method_and_hashlib(self):
+        src = """
+        import hashlib
+        def digest(obj, payload):
+            return obj.hash(payload), hashlib.sha256(payload)
+        """
+        assert "PET007" not in rules_found(src)
+
+    def test_passes_explicit_mix(self):
+        src = """
+        from repro.netsim.routing import ecmp_hash
+        def pick(flow_id, n):
+            return ecmp_hash(flow_id, n)
+        """
+        assert "PET007" not in rules_found(src)
+
+    def test_not_applied_outside_scope(self):
+        src = """
+        def pick(flow_id, n):
+            return hash(flow_id) % n
+        """
+        assert "PET007" not in rules_found(src, path=UNSCOPED)
+
+
 class TestNoqa:
     def test_bare_noqa_suppresses_all(self):
         src = """
@@ -283,8 +315,8 @@ class TestViolationReporting:
 
     def test_every_rule_has_fixture_coverage(self):
         # the classes above cover the full catalogue
-        assert set(RULES) == {"PET001", "PET002", "PET003",
-                              "PET004", "PET005", "PET006"}
+        assert set(RULES) == {"PET001", "PET002", "PET003", "PET004",
+                              "PET005", "PET006", "PET007"}
 
 
 class TestCLIEntryPoint:
