@@ -152,6 +152,17 @@ class FatTreeConfig:
         """Pod-local edge index of a (global) host index."""
         return (host % self.hosts_per_pod) // self.hosts_per_edge
 
+    def owner_pod_of_flow(self, src_host: int) -> int:
+        """Owning pod of a flow: its **source** edge's pod.
+
+        The flow-table sharding rule (docs/PERFORMANCE.md): every flow
+        lives in exactly one pod's table, NIC sharing needs only local
+        flows (a host's flows are all in its own pod's table by
+        construction), and a failure reroute may migrate a flow's *core*
+        but never its owner pod — the source host does not move.
+        """
+        return self.pod_of_host(src_host)
+
     @classmethod
     def small(cls) -> "FatTreeConfig":
         """An 8-host, 10-switch fabric for quick tests."""
@@ -168,6 +179,19 @@ class FatTreeConfig:
         """
         return cls(n_pods=8, edge_per_pod=4, agg_per_pod=4, core_per_agg=4,
                    hosts_per_edge=8)
+
+    @classmethod
+    def scale_xl(cls) -> "FatTreeConfig":
+        """The 10k-host shape: 16 pods, 416 switches, 10240 hosts.
+
+        The flow-table-sharding headline (ROADMAP item 2 follow-on) and
+        the fabric behind the ``sim_shard_xl`` hotpath workload: 15360
+        queues in 17 subdomain blocks, with per-Δt flow-phase cost
+        scaling with the *largest pod's* flow count rather than the
+        fabric total.
+        """
+        return cls(n_pods=16, edge_per_pod=16, agg_per_pod=8,
+                   core_per_agg=4, hosts_per_edge=40)
 
 
 class FatTreeTopology:

@@ -161,6 +161,48 @@ class FlowTableMixin:
     #: the sharded fat-tree the chosen core.
     _FLOW_CHOICE_1D: Tuple[str, ...] = ("f_spine",)
 
+    def _init_flow_table(self, cap: int) -> None:
+        """Allocate an empty flow table of ``cap`` slots, plus the slot
+        maps, pending queue and completion records.
+
+        One table per *owner*: the monolithic networks call this once on
+        themselves; the sharded fat-tree instantiates one
+        :class:`~repro.netsim.shard.FlowShard` per pod, each carrying
+        its own table, so the flow phase decomposes spatially exactly
+        like the queue phase does.
+        """
+        if cap < 1:
+            raise ValueError("flow capacity must be >= 1")
+        self._cap_flows = cap
+        self._n_flows = 0
+        self.f_src = np.zeros(cap, dtype=np.int64)
+        self.f_dst = np.zeros(cap, dtype=np.int64)
+        self.f_size = np.zeros(cap)
+        self.f_remaining = np.zeros(cap)
+        self.f_rate = np.zeros(cap)                      # bytes/s
+        self.f_alpha = np.zeros(cap)
+        self.f_active = np.zeros(cap, dtype=bool)
+        self.f_path = np.full((cap, self._MAX_HOPS), -1, dtype=np.int64)
+        for name in self._FLOW_CHOICE_1D:
+            setattr(self, name, np.full(cap, -1, dtype=np.int64))
+        self.flow_objs: Dict[int, Flow] = {}
+        self._fid_to_idx: Dict[int, int] = {}
+        self._idx_to_fid: Dict[int, int] = {}
+        self._free_list: List[int] = []   # recycled flow slots
+        self._pending: List[Flow] = []    # sorted by start_time (lazily)
+        self._pending_sorted = True
+        self.finished_flows: List[Flow] = []
+        self.latencies: List[Tuple[float, float]] = []
+        self._batch = None
+
+    def flow_table_bytes(self) -> int:
+        """Resident bytes of the ``f_*`` arrays (capacity, not usage)."""
+        total = self.f_path.nbytes
+        for name in ("f_src", "f_dst", "f_size", "f_remaining", "f_rate",
+                     "f_alpha", "f_active") + self._FLOW_CHOICE_1D:
+            total += getattr(self, name).nbytes
+        return int(total)
+
     def _grow(self) -> None:
         if self._batch is not None:
             # A batched replica's flow arrays are row views into the
@@ -482,26 +524,8 @@ class FluidNetwork(FlowTableMixin, SwitchStatsMixin):
         # uniform fabric capacity scale (chaos degradation faults)
         self.fabric_capacity_factor = 1.0
 
-        # ---- flow arrays (grow-on-demand) ---------------------------------
-        self._cap_flows = cfg.initial_flow_capacity
-        self._n_flows = 0
-        self.f_src = np.zeros(self._cap_flows, dtype=np.int64)
-        self.f_dst = np.zeros(self._cap_flows, dtype=np.int64)
-        self.f_size = np.zeros(self._cap_flows)
-        self.f_remaining = np.zeros(self._cap_flows)
-        self.f_rate = np.zeros(self._cap_flows)              # bytes/s
-        self.f_alpha = np.zeros(self._cap_flows)
-        self.f_active = np.zeros(self._cap_flows, dtype=bool)
-        self.f_path = np.full((self._cap_flows, self._MAX_HOPS), -1, dtype=np.int64)
-        self.f_spine = np.full(self._cap_flows, -1, dtype=np.int64)
-        self.flow_objs: Dict[int, Flow] = {}
-        self._fid_to_idx: Dict[int, int] = {}
-        self._idx_to_fid: Dict[int, int] = {}
-        self._free_list: List[int] = []     # recycled flow slots
-        self._pending: List[Flow] = []    # sorted by start_time (lazily)
-        self._pending_sorted = True
-        self.finished_flows: List[Flow] = []
-        self.latencies: List[Tuple[float, float]] = []
+        # ---- flow arrays (grow-on-demand; FlowTableMixin) -----------------
+        self._init_flow_table(cfg.initial_flow_capacity)
 
         # ---- interval stats accumulators -----------------------------------
         self._acc_tx = np.zeros(self.n_queues)        # bytes served

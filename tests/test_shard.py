@@ -54,9 +54,10 @@ def _run_fp(cfg, shards, *, steps=150, n_flows=40, engine=None,
             net.fail_uplinks(0.25, rng=np.random.default_rng(99))
         if (k + 1) % 50 == 0:
             stats.append(net.queue_stats())
+    flows = net.flow_table_state()
     return _fingerprint({"stats": stats, "q_len": net.q_len.copy(),
-                         "rates": net.f_rate[:net._n_flows].copy(),
-                         "paths": net.f_path[:net._n_flows].copy(),
+                         "rates": flows["f_rate"], "paths": flows["f_path"],
+                         "alpha": flows["f_alpha"],
                          "finished": [(f.flow_id, f.finish_time)
                                       for f in net.finished_flows]})
 
@@ -109,6 +110,36 @@ class TestShardConformance:
         fp_inproc = _run_fp(cfg, 1)
         fp_engine = _run_fp(cfg, 3, engine=Engine(workers=2))
         assert fp_engine == fp_inproc
+
+    def test_engine_arena_and_pickle_fallback_are_bit_identical(self):
+        """The zero-copy arena and the pickled-payload fallback are two
+        transports for the same bits: closing the arena mid-construction
+        degrades to pickling without changing a single fingerprint."""
+        from repro.parallel.engine import Engine, SharedArena
+        if not SharedArena.available():   # pragma: no cover
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        cfg = _small()
+        engine = Engine(workers=2)
+
+        arena_net = ShardedFluidNetwork(cfg, shards=3, seed=3,
+                                        engine=engine)
+        assert arena_net._arena is not None
+        fallback_net = ShardedFluidNetwork(cfg, shards=3, seed=3,
+                                           engine=engine)
+        fallback_net.close()              # forces the pickle path
+        assert fallback_net._arena is None
+
+        fps = []
+        for net in (arena_net, fallback_net):
+            net.set_ecn_all(ECNConfig(kmin_bytes=20_000, kmax_bytes=80_000,
+                                      pmax=0.2))
+            _load(net, cfg, n_flows=40)
+            for _ in range(60):
+                net._step(cfg.step_dt)
+            fps.append(_fingerprint({"q": net.q_len.copy(),
+                                     **net.flow_table_state()}))
+        arena_net.close()
+        assert fps[0] == fps[1]
 
     def test_bit_identical_through_midrun_failures(self):
         cfg = _small()
@@ -167,10 +198,31 @@ class TestShardedNetworkSurface:
         net = ShardedFluidNetwork(_small(), shards=2, seed=0)
         rep = net.memory_report()
         assert set(rep) == {"pod0", "pod1", "core"}
-        assert all(v > 0 for v in rep.values())
+        assert all(v["queue_bytes"] > 0 for v in rep.values())
+        # flow tables live on the pods; the core plane owns no flows
+        assert rep["pod0"]["flow_bytes"] > 0
+        assert rep["pod1"]["flow_bytes"] > 0
+        assert rep["core"]["flow_bytes"] == 0
+        assert rep["pod0"]["flow_bytes"] == \
+            net.flow_shards[0].flow_table_bytes()
         # attribution must add up to the whole fabric's queue state
         total_queues = sum(len(s) for s in net.subdomains)
         assert total_queues == net.n_queues
+
+    def test_flow_ownership_follows_source_pod(self):
+        cfg = _small()
+        net = ShardedFluidNetwork(cfg, shards=2, seed=0)
+        # h0 lives in pod0, h4 (second half) in pod1
+        lo, hi = 0, cfg.hosts_per_pod
+        net.start_flow(Flow(0, f"h{lo}", f"h{hi}", 10_000))
+        net.start_flow(Flow(1, f"h{hi}", f"h{lo}", 10_000))
+        net.advance(cfg.step_dt)
+        assert net.flow_shards[0]._n_flows == 1
+        assert net.flow_shards[1]._n_flows == 1
+        assert int(net.flow_shards[0].f_src[0]) == lo
+        assert int(net.flow_shards[1].f_src[0]) == hi
+        # both flows cross pods: each pod emitted boundary aggregates
+        assert net._last_boundary_rows > 0
 
     def test_set_ecn_reaches_only_that_switch(self):
         net = ShardedFluidNetwork(_small(), seed=0)
@@ -244,18 +296,66 @@ def test_failure_reroute_agrees_sharded_vs_monolithic(fraction, fail_seed,
             net._step(cfg.step_dt)
     mono, shard = nets
     assert (mono.uplink_up == shard.uplink_up).all()
-    n = mono._n_flows
-    assert shard._n_flows == n
-    assert (mono.f_path[:n] == shard.f_path[:n]).all()
-    assert (mono.f_core[:n] == shard.f_core[:n]).all()
+    mf, sf = mono.flow_table_state(), shard.flow_table_state()
+    assert len(mf["f_src"]) == len(sf["f_src"])
+    assert (mf["f_path"] == sf["f_path"]).all()
+    assert (mf["f_core"] == sf["f_core"]).all()
     # no active flow may still traverse a dead uplink — unless its pod
     # pair has no commonly-live core at all (partitioned; old path kept)
-    for i in np.flatnonzero(mono.f_active[:n]):
-        c = int(mono.f_core[i])
+    for i in np.flatnonzero(mf["f_active"]):
+        c = int(mf["f_core"][i])
         if c < 0:
             continue
-        ps = cfg.pod_of_host(int(mono.f_src[i]))
-        pd = cfg.pod_of_host(int(mono.f_dst[i]))
+        ps = cfg.pod_of_host(int(mf["f_src"][i]))
+        pd = cfg.pod_of_host(int(mf["f_dst"][i]))
         if not (mono.uplink_up[ps] & mono.uplink_up[pd]).any():
             continue
         assert mono.uplink_up[ps, c] and mono.uplink_up[pd, c]
+
+
+@settings(max_examples=8, deadline=None)
+@given(shards=st.sampled_from([1, 2, 4]),
+       n_flows=st.integers(4, 30),
+       seed=st.integers(0, 2**16),
+       fail_fraction=st.floats(0.1, 0.6))
+def test_sharded_flow_tables_survive_divergence_and_reroutes(
+        shards, n_flows, seed, fail_fraction):
+    """The ISSUE-10 acceptance property: with the flow table itself
+    sharded per pod, every shard count conserves bytes-in-flight against
+    the monolithic run step for step, stays fingerprint-bit-identical
+    through mid-run ``set_ecn`` divergence *and* ``fail_uplinks``
+    reroutes, and a reroute may migrate a flow's core but never its
+    owner pod."""
+    cfg = FatTreeConfig(n_pods=4, edge_per_pod=1, agg_per_pod=2,
+                        core_per_agg=1, hosts_per_edge=2,
+                        host_rate_bps=10e9, agg_rate_bps=40e9,
+                        core_rate_bps=40e9)   # 5 subdomains: shards<=5
+    mono = ShardedFluidNetwork(cfg, shards=1, seed=0)
+    shard = ShardedFluidNetwork(cfg, shards=shards, seed=0)
+    for net in (mono, shard):
+        _load(net, cfg, n_flows=n_flows, seed=seed, spread=1e-3)
+    owner_before = {fid: cfg.owner_pod_of_flow(int(f.src[1:]))
+                    for fid, f in shard.flow_objs.items()}
+    for k in range(60):
+        if k == 20:   # mid-run per-switch divergence
+            for net in (mono, shard):
+                net.set_ecn("pod1.agg0", ECNConfig(kmin_bytes=5_000,
+                                                   kmax_bytes=30_000,
+                                                   pmax=0.9))
+        if k == 30:   # mid-run failure + reroute
+            for net in (mono, shard):
+                killed = net.fail_uplinks(
+                    fail_fraction, rng=np.random.default_rng(seed + 1))
+                assert killed >= 1
+        mono._step(cfg.step_dt)
+        shard._step(cfg.step_dt)
+        assert shard.bytes_in_flight() == mono.bytes_in_flight()
+    mf, sf = mono.flow_table_state(), shard.flow_table_state()
+    assert _fingerprint({"q": shard.q_len.copy(), **sf}) == \
+        _fingerprint({"q": mono.q_len.copy(), **mf})
+    # ownership is immutable: every flow is still in its source pod's
+    # table (the reroute may have changed f_core, never the shard)
+    for p, sh in enumerate(shard.flow_shards):
+        for idx, fid in sh._idx_to_fid.items():
+            assert owner_before[fid] == p
+            assert cfg.owner_pod_of_flow(int(sh.f_src[idx])) == p
